@@ -1,0 +1,84 @@
+// Ablation A (paper Section 5.1 claim): the naive EDF assignment -- both
+// phases of an offloaded job keep the full relative deadline -- "performs
+// poorly" compared with the proportional split of Section 5.1.
+//
+// Random task sets at increasing offload pressure; every set's decisions
+// come from the ODM (so the split policy is provably safe). We simulate
+// both deadline policies against a dead server (the adversarial case where
+// every job needs its compensation) and report the fraction of runs with
+// zero deadline misses plus the average miss count.
+//
+// Expected shape: split stays at 100% zero-miss; naive degrades as the
+// setup share and utilization grow.
+
+#include <iostream>
+
+#include "core/odm.hpp"
+#include "core/workload.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rt;
+  std::cout << "=== Ablation A: split-deadline EDF vs naive EDF ===\n"
+            << "(ODM decisions, dead server => all compensations; 20 random "
+               "sets per row, 20 s horizon)\n\n";
+
+  Table table({"local util target", "setup share", "split: zero-miss runs",
+               "naive: zero-miss runs", "split: avg misses",
+               "naive: avg misses"});
+
+  const int kRuns = 20;
+  for (const double util : {0.4, 0.55, 0.7}) {
+    for (const double setup_share : {0.2, 0.5}) {
+      int split_clean = 0, naive_clean = 0;
+      std::uint64_t split_misses = 0, naive_misses = 0;
+      for (int run = 0; run < kRuns; ++run) {
+        Rng rng(static_cast<std::uint64_t>(util * 100) * 1000 +
+                static_cast<std::uint64_t>(setup_share * 100) * 100 +
+                static_cast<std::uint64_t>(run));
+        core::RandomTasksetConfig cfg;
+        cfg.num_tasks = 8;
+        cfg.total_local_utilization = util;
+        cfg.period_min = Duration::milliseconds(50);
+        cfg.period_max = Duration::milliseconds(800);
+        cfg.setup_fraction_min = setup_share * 0.8;
+        cfg.setup_fraction_max = setup_share;
+        cfg.response_deadline_fraction_min = 0.3;
+        cfg.response_deadline_fraction_max = 0.7;
+        const core::TaskSet tasks = core::make_random_taskset(rng, cfg);
+        const core::OdmResult odm = core::decide_offloading(tasks);
+        if (!odm.feasible) continue;
+
+        server::NeverResponds dead;
+        for (const auto policy :
+             {sim::DeadlinePolicy::kSplit, sim::DeadlinePolicy::kNaive}) {
+          sim::SimConfig sim_cfg;
+          sim_cfg.horizon = Duration::seconds(20);
+          sim_cfg.seed = static_cast<std::uint64_t>(run) + 17;
+          sim_cfg.deadline_policy = policy;
+          const sim::SimResult res =
+              sim::simulate(tasks, odm.decisions, dead, sim_cfg);
+          const std::uint64_t misses = res.metrics.total_deadline_misses();
+          if (policy == sim::DeadlinePolicy::kSplit) {
+            split_misses += misses;
+            split_clean += misses == 0 ? 1 : 0;
+          } else {
+            naive_misses += misses;
+            naive_clean += misses == 0 ? 1 : 0;
+          }
+        }
+      }
+      table.add_row({Table::fmt(util, 2), Table::fmt(setup_share, 2),
+                     std::to_string(split_clean) + "/" + std::to_string(kRuns),
+                     std::to_string(naive_clean) + "/" + std::to_string(kRuns),
+                     Table::fmt(static_cast<double>(split_misses) / kRuns, 2),
+                     Table::fmt(static_cast<double>(naive_misses) / kRuns, 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape: the split assignment never misses (it is what "
+               "Theorem 3 analyzes); the naive assignment accumulates misses "
+               "as pressure grows -- the Section 5.1 claim.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation C: why the paper schedules with (split-deadline) EDF and not
+// fixed priority. Self-suspending offloaded tasks are hostile to FP
+// analysis (Ridouard et al. [9], cited in Section 5.1): the
+// suspension-oblivious RTA must charge each suspension in full, while the
+// EDF split-deadline test only pays (C1 + C2)/(D - R).
+//
+// Random task sets with every task offloaded; sweep the response-time
+// budget as a fraction of the deadline and report the acceptance ratio of
+// the Theorem 3 EDF test vs the deadline-monotonic RTA, plus the benefit
+// the ODM can realize when constrained by each test.
+
+#include <iostream>
+
+#include "core/odm.hpp"
+#include "core/rta.hpp"
+#include "core/workload.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace rt;
+  std::cout << "=== Ablation C: EDF split-deadline test vs fixed-priority "
+               "(DM) suspension-oblivious RTA ===\n"
+            << "(100 random sets per row, all tasks offloaded at level 1)\n\n";
+
+  Table table({"R / D", "local util", "EDF Thm3 accepts", "FP RTA accepts",
+               "both", "EDF-only", "FP-only"});
+
+  const int kRuns = 100;
+  for (const double r_frac : {0.2, 0.4, 0.6}) {
+    for (const double util : {0.3, 0.5}) {
+      int edf = 0, fp = 0, both = 0, edf_only = 0, fp_only = 0;
+      for (int run = 0; run < kRuns; ++run) {
+        Rng rng(static_cast<std::uint64_t>(r_frac * 100) * 100'000 +
+                static_cast<std::uint64_t>(util * 100) * 1'000 +
+                static_cast<std::uint64_t>(run));
+        core::RandomTasksetConfig cfg;
+        cfg.num_tasks = 6;
+        cfg.total_local_utilization = util;
+        cfg.response_deadline_fraction_min = r_frac * 0.9;
+        cfg.response_deadline_fraction_max = r_frac;
+        cfg.benefit_points = 1;  // a single offload level at ~r_frac * D
+        const core::TaskSet tasks = core::make_random_taskset(rng, cfg);
+        core::DecisionVector ds;
+        for (const auto& task : tasks) {
+          ds.push_back(core::Decision::offload(
+              1, task.benefit.point(1).response_time));
+        }
+        const bool e = core::theorem3_feasible(tasks, ds);
+        const bool f = core::rta_fixed_priority(tasks, ds).feasible;
+        edf += e;
+        fp += f;
+        both += e && f;
+        edf_only += e && !f;
+        fp_only += !e && f;
+      }
+      table.add_row({Table::fmt(r_frac, 1), Table::fmt(util, 1),
+                     Table::fmt(100.0 * edf / kRuns, 1) + "%",
+                     Table::fmt(100.0 * fp / kRuns, 1) + "%",
+                     std::to_string(both), std::to_string(edf_only),
+                     std::to_string(fp_only)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape: EDF acceptance dominates as R/D grows -- the FP "
+               "analysis pays every suspension in full, the EDF split test "
+               "only pays (C1+C2)/(D-R). 'FP-only' wins are possible on "
+               "harmonic-ish sets but rare.\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Figure 3 (paper Section 6.2): effect of estimation accuracy on the total
+// benefit, dynamic programming vs the HEU-OE heuristic.
+//
+// 30 random tasks per the paper's generator; the benefit is the probability
+// of receiving the higher-performance result within r. With estimation
+// accuracy ratio x, the Benefit & Response Time Estimator believes every
+// breakpoint sits at (1+x)*r: x < 0 under-estimates response times (the
+// success probability within a window is over-estimated, compensation fires
+// more often than expected), x > 0 over-estimates them (offloading choices
+// look too expensive and are not taken).
+//
+// Reported per x in {-40%, ..., +40%}: the analytic expected number of
+// timely higher-performance results sum_i G_i(R_i), and a 200 s
+// discrete-event simulation where the server's response distribution is the
+// true G_i. Everything is normalized to the perfect-estimation DP value.
+//
+// Expected shape: maximum at x = 0, monotone-ish decay to both sides,
+// DP >= HEU-OE, zero deadline misses for every x (the guarantee).
+
+#include <iostream>
+
+#include "core/odm.hpp"
+#include "core/workload.hpp"
+#include "sim/benefit_response.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Outcome {
+  double analytic = 0.0;
+  double simulated = 0.0;  // timely results per hyper-ish second, scaled below
+  std::uint64_t misses = 0;
+};
+
+Outcome evaluate(const rt::core::TaskSet& tasks, double error,
+                 rt::mckp::SolverKind solver, std::uint64_t seed) {
+  using namespace rt;
+  core::OdmConfig cfg;
+  cfg.solver = solver;
+  cfg.estimation_error = error;
+  cfg.apply_task_weights = false;
+  cfg.profit_scale = 1000.0;
+  const core::OdmResult odm = core::decide_offloading(tasks, cfg);
+
+  Outcome out;
+  // Analytic: expected timely higher-performance results per job wave.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (odm.decisions[i].offloaded()) {
+      out.analytic +=
+          tasks[i].benefit.value_at(odm.decisions[i].response_time);
+    }
+  }
+
+  // Simulated: per-task inverse-CDF server; count timely results and divide
+  // by the number of job waves to land on the same per-wave scale.
+  std::vector<core::BenefitFunction> gs;
+  gs.reserve(tasks.size());
+  for (const auto& t : tasks) gs.push_back(t.benefit);
+  sim::BenefitDrivenResponse srv(std::move(gs));
+
+  sim::SimConfig sim_cfg;
+  sim_cfg.horizon = Duration::seconds(200);
+  sim_cfg.seed = seed;
+  sim_cfg.benefit_semantics = sim::BenefitSemantics::kTimelyCount;
+  const sim::SimResult res = sim::simulate(tasks, odm.decisions, srv, sim_cfg);
+  out.misses = res.metrics.total_deadline_misses();
+
+  double benefit_per_wave = 0.0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto& m = res.metrics.per_task[i];
+    if (m.released > 0) {
+      benefit_per_wave +=
+          m.accrued_benefit / static_cast<double>(m.released);
+    }
+  }
+  out.simulated = benefit_per_wave;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace rt;
+  std::cout << "=== Figure 3: normalized total benefit vs estimation "
+               "accuracy ratio ===\n\n";
+
+  Rng rng(20140601);
+  const core::TaskSet tasks = core::make_paper_simulation_taskset(rng);
+
+  const double baseline =
+      evaluate(tasks, 0.0, mckp::SolverKind::kDpProfits, 1).analytic;
+  if (baseline <= 0.0) {
+    std::cerr << "baseline benefit is zero -- workload misconfigured\n";
+    return 1;
+  }
+  const double sim_baseline =
+      evaluate(tasks, 0.0, mckp::SolverKind::kDpProfits, 1).simulated;
+
+  Table table({"accuracy ratio x", "DP (analytic)", "HEU-OE (analytic)",
+               "DP (simulated)", "HEU-OE (simulated)"});
+  std::uint64_t total_misses = 0;
+  double dp_at_zero = 0.0, dp_at_edge = 1e9;
+  for (int pct = -40; pct <= 40; pct += 10) {
+    const double x = pct / 100.0;
+    const Outcome dp =
+        evaluate(tasks, x, mckp::SolverKind::kDpProfits, 100 + pct);
+    const Outcome heu = evaluate(tasks, x, mckp::SolverKind::kHeuOe, 200 + pct);
+    total_misses += dp.misses + heu.misses;
+    if (pct == 0) dp_at_zero = dp.analytic / baseline;
+    if (pct == -40 || pct == 40) {
+      dp_at_edge = std::min(dp_at_edge, dp.analytic / baseline);
+    }
+    table.add_row({std::to_string(pct) + "%",
+                   Table::fmt(dp.analytic / baseline),
+                   Table::fmt(heu.analytic / baseline),
+                   Table::fmt(dp.simulated / sim_baseline),
+                   Table::fmt(heu.simulated / sim_baseline)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nDeadline misses across all runs (must be 0): " << total_misses
+            << "\n"
+            << "Shape: peak at x = 0 (" << Table::fmt(dp_at_zero)
+            << "), degraded at the +/-40% edges (min " << Table::fmt(dp_at_edge)
+            << ").\nAt x = 0 the DP is provably at least the heuristic; under "
+               "estimation error both optimize a *wrong* objective, so either "
+               "can come out ahead on true benefit -- exactly the paper's "
+               "point that the estimate quality, not the solver, dominates.\n";
+  return total_misses == 0 ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+// Performance micro-benchmarks for the schedulability tests and the
+// discrete-event engine (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/deadline.hpp"
+#include "core/odm.hpp"
+#include "core/schedulability.hpp"
+#include "core/workload.hpp"
+#include "server/response_model.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+struct Fixture {
+  rt::core::TaskSet tasks;
+  rt::core::DecisionVector decisions;
+};
+
+Fixture make_fixture(int n, std::uint64_t seed) {
+  rt::Rng rng(seed);
+  rt::core::PaperSimConfig cfg;
+  cfg.num_tasks = n;
+  Fixture f;
+  f.tasks = rt::core::make_paper_simulation_taskset(rng, cfg);
+  f.decisions = rt::core::decide_offloading(f.tasks).decisions;
+  return f;
+}
+
+void BM_Theorem3(benchmark::State& state) {
+  const Fixture f = make_fixture(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::core::theorem3_feasible(f.tasks, f.decisions));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Theorem3)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_ExactPda(benchmark::State& state) {
+  const Fixture f = make_fixture(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::core::pda_feasible(f.tasks, f.decisions));
+  }
+}
+BENCHMARK(BM_ExactPda)->RangeMultiplier(2)->Range(8, 32);
+
+void BM_QuickPda(benchmark::State& state) {
+  const Fixture f = make_fixture(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::core::qpa_feasible(f.tasks, f.decisions));
+  }
+}
+BENCHMARK(BM_QuickPda)->RangeMultiplier(2)->Range(8, 32);
+
+void BM_DbfExact(benchmark::State& state) {
+  const Fixture f = make_fixture(16, 3);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::core::dbf_exact(
+        f.tasks[i % f.tasks.size()], f.decisions[i % f.tasks.size()],
+        rt::Duration::seconds(static_cast<std::int64_t>(1 + i % 7))));
+    ++i;
+  }
+}
+BENCHMARK(BM_DbfExact);
+
+void BM_SimulateSecond(benchmark::State& state) {
+  const Fixture f = make_fixture(static_cast<int>(state.range(0)), 5);
+  rt::server::ShiftedLognormalResponse srv(rt::Duration::milliseconds(20),
+                                           std::log(80.0), 0.8, 0.01);
+  rt::sim::SimConfig cfg;
+  cfg.horizon = rt::Duration::seconds(10);
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    cfg.seed++;
+    const auto res = rt::sim::simulate(f.tasks, f.decisions, srv, cfg);
+    jobs += res.metrics.total_released();
+    benchmark::DoNotOptimize(res.metrics.total_benefit());
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(jobs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateSecond)->Arg(8)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_SplitDeadlines(benchmark::State& state) {
+  const Fixture f = make_fixture(30, 5);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& task = f.tasks[i % f.tasks.size()];
+    benchmark::DoNotOptimize(rt::core::split_deadlines(
+        task, task.benefit.point(1).response_time, 1));
+    ++i;
+  }
+}
+BENCHMARK(BM_SplitDeadlines);
+
+}  // namespace

@@ -1,0 +1,164 @@
+#include "casestudy/case_study.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "img/quality.hpp"
+#include "img/scale.hpp"
+#include "server/estimator.hpp"
+
+namespace rt::casestudy {
+
+namespace {
+
+/// The representative input image for each task kind (stereo/motion tasks
+/// are measured on their primary frame).
+img::Image scene_for(img::TaskKind kind, int w, int h, std::uint64_t seed) {
+  switch (kind) {
+    case img::TaskKind::kStereoVision:
+      return img::make_stereo_pair(w, h, seed).left;
+    case img::TaskKind::kMotionDetection:
+      return img::make_motion_pair(w, h, seed).frame0;
+    case img::TaskKind::kEdgeDetection:
+    case img::TaskKind::kObjectRecognition: {
+      img::SceneSpec spec;
+      spec.seed = seed;
+      return img::make_scene(w, h, spec);
+    }
+  }
+  throw std::invalid_argument("scene_for: unknown task kind");
+}
+
+std::size_t level_pixels(const CaseStudyConfig& cfg, int level) {
+  return img::level_payload_bytes(cfg.image_width, cfg.image_height, level,
+                                  cfg.num_levels);  // 1 byte/pixel
+}
+
+}  // namespace
+
+core::TaskSet CaseStudy::task_set() const {
+  core::TaskSet set;
+  set.reserve(tasks.size());
+  for (const auto& t : tasks) set.push_back(t.task);
+  return set;
+}
+
+sim::RequestProfile CaseStudy::request_profile() const {
+  sim::RequestProfile profile(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    profile[i].resize(tasks[i].task.benefit.size());
+    for (std::size_t j = 0; j < profile[i].size(); ++j) {
+      profile[i][j].payload_bytes = tasks[i].payload_bytes[j];
+      profile[i][j].compute_time = tasks[i].gpu_compute[j];
+      profile[i][j].stream_id = i;
+    }
+  }
+  return profile;
+}
+
+CaseStudy build_case_study(const CaseStudyConfig& config) {
+  if (config.num_levels < 2) {
+    throw std::invalid_argument("build_case_study: need at least two levels");
+  }
+  CaseStudy study;
+  study.config = config;
+
+  const std::array<img::TaskKind, 4> kinds{
+      img::TaskKind::kStereoVision, img::TaskKind::kEdgeDetection,
+      img::TaskKind::kObjectRecognition, img::TaskKind::kMotionDetection};
+
+  auto estimation_server = server::make_scenario_server(
+      config.estimation_scenario, config.seed ^ 0xE57ull);
+  Rng sample_rng(config.seed ^ 0x5A11ull);
+
+  for (std::size_t idx = 0; idx < kinds.size(); ++idx) {
+    const img::TaskKind kind = kinds[idx];
+    CaseStudyTask cst;
+    cst.kind = kind;
+
+    const img::Image scene = scene_for(kind, config.image_width,
+                                       config.image_height, config.seed + idx);
+
+    // Quality per level: PSNR of the down-then-up scaled image vs the
+    // original (the top level is lossless => the 99 dB cap of Table 1).
+    cst.psnr.resize(static_cast<std::size_t>(config.num_levels));
+    for (int level = 1; level <= config.num_levels; ++level) {
+      cst.psnr[static_cast<std::size_t>(level - 1)] =
+          img::psnr(scene, img::round_trip(scene, level, config.num_levels));
+    }
+
+    core::Task& task = cst.task;
+    task.name = img::to_string(kind);
+    task.deadline = (idx < 2) ? config.deadline_12 : config.deadline_34;
+    task.period = task.deadline;  // implicit deadlines
+    task.weight = 1.0;
+
+    // Local execution: the level-1 image is all the CPU can afford.
+    const std::size_t local_pixels = level_pixels(config, 1);
+    task.local_wcet = config.exec_model.local_exec(kind, local_pixels);
+    task.compensation_wcet = task.local_wcet;  // fallback = local version
+    task.post_wcet = Duration::zero();
+    task.setup_wcet = config.exec_model.setup_exec(local_pixels);
+
+    // Offload levels 2..num_levels: per-level setup WCETs (C1^j), payloads,
+    // GPU compute, and estimated worst-case response times.
+    std::vector<core::BenefitPoint> points;
+    points.push_back({Duration::zero(), cst.psnr[0]});
+    cst.payload_bytes.assign(1, 0);
+    cst.gpu_compute.assign(1, Duration::zero());
+    std::vector<Duration> setup_per_level{Duration::zero()};
+    std::vector<Duration> comp_per_level{Duration::zero()};
+
+    Duration prev_r = Duration::zero();
+    for (int level = 2; level <= config.num_levels; ++level) {
+      const std::size_t pixels = level_pixels(config, level);
+      server::Request probe;
+      probe.payload_bytes = pixels;  // 8-bit pixels
+      probe.compute_time = config.exec_model.gpu_exec(kind, pixels);
+      probe.stream_id = idx;
+      // Probe spacing mimics the task period so the estimator sees the
+      // load the runtime will see. Each level is profiled against a fresh
+      // server timeline (offline measurement campaigns are independent;
+      // probes restart at t = 0, so carried-over queue state would be
+      // bogus).
+      estimation_server->reset();
+      const std::vector<Duration> samples = server::collect_response_samples(
+          *estimation_server, probe, task.period, config.samples_per_level,
+          sample_rng);
+      Duration r = server::response_percentile(samples, config.percentile);
+      if (r == server::kNoResponse) {
+        // Unusable level (the estimator cannot bound it at this percentile):
+        // skip it entirely.
+        continue;
+      }
+      if (r <= prev_r) r = prev_r + Duration::microseconds(1);
+      prev_r = r;
+
+      points.push_back({r, cst.psnr[static_cast<std::size_t>(level - 1)]});
+      cst.payload_bytes.push_back(pixels);
+      cst.gpu_compute.push_back(probe.compute_time);
+      setup_per_level.push_back(config.exec_model.setup_exec(pixels));
+      comp_per_level.push_back(task.local_wcet);
+    }
+
+    task.benefit = core::BenefitFunction(std::move(points));
+    task.setup_wcet_per_level = std::move(setup_per_level);
+    task.compensation_wcet_per_level = std::move(comp_per_level);
+    task.validate();
+    study.tasks.push_back(std::move(cst));
+  }
+  return study;
+}
+
+std::vector<std::array<double, 4>> weight_permutations() {
+  std::array<double, 4> w{1.0, 2.0, 3.0, 4.0};
+  std::vector<std::array<double, 4>> out;
+  std::sort(w.begin(), w.end());
+  do {
+    out.push_back(w);
+  } while (std::next_permutation(w.begin(), w.end()));
+  return out;
+}
+
+}  // namespace rt::casestudy

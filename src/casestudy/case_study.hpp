@@ -1,0 +1,72 @@
+#pragma once
+// The robot image-processing case study (paper Section 6.1).
+//
+// Four sporadic vision tasks run over camera images. The embedded CPU can
+// only afford the smallest scaling level (level 1 of num_levels); the GPU
+// server can take any level, and the benefit of offloading at level j is
+// the PSNR of the level-j image (Table 1; 99 dB cap at full resolution).
+// Estimated worst-case response times per level come from percentile
+// estimation over the queueing server model -- the paper's "coarse-grained
+// statistic estimation".
+//
+// This module assembles all of that into a core::TaskSet plus the request
+// profile the simulator needs, and is shared by the Table 1 / Figure 2
+// benches and the robot_vision example.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/task.hpp"
+#include "img/exec_model.hpp"
+#include "server/gpu_server.hpp"
+#include "sim/simulator.hpp"
+
+namespace rt::casestudy {
+
+struct CaseStudyConfig {
+  int image_width = 1600;
+  int image_height = 1200;
+  int num_levels = 5;          ///< level 1 = local size, levels 2..5 offloadable
+  double percentile = 90.0;    ///< estimated worst-case response = p90
+  std::size_t samples_per_level = 256;
+  std::uint64_t seed = 2014;
+  /// Environment in which the Benefit & Response Time Estimator measured the
+  /// server (the paper measured a shared GPU box on wireless).
+  server::Scenario estimation_scenario = server::Scenario::kNotBusy;
+  img::ExecTimeModel exec_model = img::ExecTimeModel::calibrated();
+  /// Relative deadlines: tau_1/tau_2 1.8s, tau_3/tau_4 2s (Section 6.1.3).
+  Duration deadline_12 = Duration::from_ms(1800);
+  Duration deadline_34 = Duration::seconds(2);
+};
+
+/// One task of the case study with everything the harnesses need.
+struct CaseStudyTask {
+  img::TaskKind kind;
+  core::Task task;  ///< benefit function, per-level WCETs, deadline = period
+  /// Per benefit level (index aligned with task.benefit): uplink payload and
+  /// pure GPU compute time. Index 0 (local) is zeroed.
+  std::vector<std::size_t> payload_bytes;
+  std::vector<Duration> gpu_compute;
+  /// PSNR of each level (index 0 = the local scaling level).
+  std::vector<double> psnr;
+};
+
+struct CaseStudy {
+  std::vector<CaseStudyTask> tasks;
+  CaseStudyConfig config;
+
+  [[nodiscard]] core::TaskSet task_set() const;
+  [[nodiscard]] sim::RequestProfile request_profile() const;
+};
+
+/// Builds the full case study: generates scenes, measures PSNR per level,
+/// derives WCETs from the execution-time model, and estimates per-level
+/// response times against the scenario server. Deterministic in the seed.
+CaseStudy build_case_study(const CaseStudyConfig& config = {});
+
+/// The 24 permutations of the weights {1, 2, 3, 4} over the four tasks, in
+/// lexicographic order ("work sets" of Figure 2).
+std::vector<std::array<double, 4>> weight_permutations();
+
+}  // namespace rt::casestudy

@@ -1,0 +1,99 @@
+#include "core/benefit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace rt::core {
+
+BenefitFunction::BenefitFunction(std::vector<BenefitPoint> points)
+    : points_(std::move(points)) {
+  if (points_.empty()) {
+    throw std::invalid_argument("BenefitFunction: needs at least the r=0 point");
+  }
+  if (!points_.front().response_time.is_zero()) {
+    throw std::invalid_argument("BenefitFunction: first point must be at r=0");
+  }
+  for (std::size_t j = 0; j < points_.size(); ++j) {
+    const auto& p = points_[j];
+    if (!std::isfinite(p.value) || p.value < 0.0) {
+      throw std::invalid_argument("BenefitFunction: values must be finite and >= 0");
+    }
+    if (j > 0) {
+      if (points_[j - 1].response_time >= p.response_time) {
+        throw std::invalid_argument(
+            "BenefitFunction: response times must be strictly increasing");
+      }
+      if (points_[j - 1].value > p.value) {
+        throw std::invalid_argument("BenefitFunction: must be non-decreasing");
+      }
+    }
+  }
+}
+
+BenefitFunction BenefitFunction::local_only(double g0) {
+  return BenefitFunction({BenefitPoint{Duration::zero(), g0}});
+}
+
+double BenefitFunction::value_at(Duration r) const {
+  if (r.is_negative()) {
+    throw std::invalid_argument("BenefitFunction::value_at: negative r");
+  }
+  double v = points_.front().value;
+  for (const auto& p : points_) {
+    if (p.response_time <= r) v = p.value;
+    else break;
+  }
+  return v;
+}
+
+BenefitFunction BenefitFunction::with_scaled_response_times(double factor) const {
+  if (!(factor > 0.0)) {
+    throw std::invalid_argument(
+        "BenefitFunction: scale factor must be > 0 (|x| < 1 in the paper)");
+  }
+  std::vector<BenefitPoint> scaled = points_;
+  for (std::size_t j = 1; j < scaled.size(); ++j) {
+    scaled[j].response_time = scaled[j].response_time.scaled(factor);
+    // Preserve strict monotonicity after rounding.
+    if (scaled[j].response_time <= scaled[j - 1].response_time) {
+      scaled[j].response_time =
+          scaled[j - 1].response_time + Duration::nanoseconds(1);
+    }
+  }
+  return BenefitFunction(std::move(scaled));
+}
+
+BenefitFunction make_monotone_benefit(double local_value,
+                                      std::vector<BenefitPoint> offload_points) {
+  std::sort(offload_points.begin(), offload_points.end(),
+            [](const BenefitPoint& a, const BenefitPoint& b) {
+              if (a.response_time != b.response_time) {
+                return a.response_time < b.response_time;
+              }
+              return a.value > b.value;  // best value first at equal r
+            });
+  std::vector<BenefitPoint> points{{Duration::zero(), local_value}};
+  for (const auto& p : offload_points) {
+    if (!p.response_time.is_positive()) continue;  // local level owns r = 0
+    if (p.value <= points.back().value) continue;  // not worth the extra wait
+    if (p.response_time <= points.back().response_time) continue;
+    points.push_back(p);
+  }
+  return BenefitFunction(std::move(points));
+}
+
+std::string BenefitFunction::to_string() const {
+  std::ostringstream oss;
+  oss << "G{";
+  for (std::size_t j = 0; j < points_.size(); ++j) {
+    if (j) oss << ", ";
+    oss << "(" << points_[j].response_time.to_string() << ", " << points_[j].value
+        << ")";
+  }
+  oss << "}";
+  return oss.str();
+}
+
+}  // namespace rt::core

@@ -1,0 +1,72 @@
+#pragma once
+// The discretized benefit function G_i(r_i) (paper Section 3.2).
+//
+// G_i is non-decreasing and changes value at Q_i discrete points
+// r_{i,1} = 0 < r_{i,2} < ... < r_{i,Q_i}. G_i(0) is the benefit of pure
+// local execution (compensation-quality result); setting the estimated
+// worst-case response time to r_{i,j} yields benefit G_i(r_{i,j}).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace rt::core {
+
+struct BenefitPoint {
+  Duration response_time;  ///< r_{i,j}; the first point must be 0
+  double value = 0.0;      ///< G_i(r_{i,j}); finite, >= 0, non-decreasing in j
+
+  bool operator==(const BenefitPoint&) const = default;
+};
+
+class BenefitFunction {
+ public:
+  /// Default: local execution only, zero benefit.
+  BenefitFunction() : points_{BenefitPoint{Duration::zero(), 0.0}} {}
+
+  /// Validates: first point at r = 0, strictly increasing response times,
+  /// non-decreasing non-negative finite values. Throws std::invalid_argument.
+  explicit BenefitFunction(std::vector<BenefitPoint> points);
+
+  /// A function with only the local point (0, g0).
+  [[nodiscard]] static BenefitFunction local_only(double g0);
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] const BenefitPoint& point(std::size_t j) const { return points_.at(j); }
+  [[nodiscard]] const std::vector<BenefitPoint>& points() const { return points_; }
+
+  /// G_i(0): local-execution (compensation) benefit.
+  [[nodiscard]] double local_value() const { return points_.front().value; }
+  /// Benefit at the largest breakpoint.
+  [[nodiscard]] double max_value() const { return points_.back().value; }
+
+  /// Step-function evaluation: the value of the largest breakpoint <= r.
+  /// r must be >= 0.
+  [[nodiscard]] double value_at(Duration r) const;
+
+  /// The estimator's (possibly erroneous) view: every positive breakpoint
+  /// scaled by `factor` (the paper's (1+x)); values unchanged. factor must
+  /// be > 0. Collisions after rounding are resolved by bumping a tick so
+  /// breakpoints stay strictly increasing.
+  [[nodiscard]] BenefitFunction with_scaled_response_times(double factor) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const BenefitFunction& o) const = default;
+
+ private:
+  std::vector<BenefitPoint> points_;
+};
+
+/// Cleans a measured (possibly noisy) benefit curve into a valid
+/// BenefitFunction: prepends the local point (0, local_value), sorts the
+/// offload points by response time, and drops every point that does not
+/// strictly improve on its predecessor (the estimator can emit plateaus and
+/// inversions; a non-improving point is never worth its response-time
+/// cost). Points with non-finite or negative values throw.
+BenefitFunction make_monotone_benefit(double local_value,
+                                      std::vector<BenefitPoint> offload_points);
+
+}  // namespace rt::core

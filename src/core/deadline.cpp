@@ -1,0 +1,44 @@
+#include "core/deadline.hpp"
+
+#include <stdexcept>
+
+namespace rt::core {
+
+SplitDeadlines split_deadlines(const Task& t, Duration response_time,
+                               std::size_t level) {
+  if (response_time.is_negative()) {
+    throw std::invalid_argument("split_deadlines: negative response time");
+  }
+  if (response_time >= t.deadline) {
+    throw std::invalid_argument("split_deadlines: R must be < D for task '" +
+                                t.name + "'");
+  }
+  const std::int64_t c1 = t.setup_for_level(level).ns();
+  // With a trusted response bound and R >= B only the post-processing needs
+  // a window; otherwise the compensation does.
+  const std::int64_t c2 = t.second_phase_budget(level, response_time).ns();
+  if (c1 + c2 <= 0) {
+    throw std::invalid_argument("split_deadlines: C1 + C2 must be > 0");
+  }
+  const std::int64_t window = (t.deadline - response_time).ns();
+  const auto d1 = static_cast<std::int64_t>(
+      static_cast<__int128>(c1) * window / (c1 + c2));
+  SplitDeadlines s;
+  s.d1 = Duration::nanoseconds(d1);
+  s.d2 = Duration::nanoseconds(window - d1);
+  return s;
+}
+
+SplitDeadlines naive_deadlines(const Task& t, Duration response_time) {
+  if (response_time.is_negative() || response_time >= t.deadline) {
+    throw std::invalid_argument("naive_deadlines: R must be in [0, D)");
+  }
+  // Both sub-jobs inherit the full deadline; d2 here is the worst-case
+  // second-phase window, which shrinks by the in-flight time.
+  SplitDeadlines s;
+  s.d1 = t.deadline;
+  s.d2 = t.deadline - response_time;
+  return s;
+}
+
+}  // namespace rt::core

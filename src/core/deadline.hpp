@@ -1,0 +1,33 @@
+#pragma once
+// Split-deadline assignment for offloaded tasks (paper Section 5.1).
+//
+// A job of an offloaded task released at t is split into two sub-jobs:
+//   sub-job 1 (setup, C_{i,1}):    relative deadline
+//       D_{i,1} = C_{i,1} (D_i - R_i) / (C_{i,1} + C_{i,2})
+//   suspension of at most R_i while the request is in flight
+//   sub-job 2 (post / compensation, budget C_{i,2}): absolute deadline t+D_i
+//
+// The division rounds D_{i,1} DOWN, which only tightens sub-job 1 and can
+// never invalidate the analysis (sub-job 2's deadline is absolute anyway).
+
+#include "core/decision.hpp"
+#include "core/task.hpp"
+
+namespace rt::core {
+
+struct SplitDeadlines {
+  Duration d1;  ///< relative deadline of the setup sub-job
+  Duration d2;  ///< (D - R) - d1: worst-case window of the second sub-job
+};
+
+/// Computes the split for task `t` offloaded at benefit level `level` with
+/// estimated response time R. Throws std::invalid_argument when R >= D (no
+/// time would remain for compensation) or R < 0.
+SplitDeadlines split_deadlines(const Task& t, Duration response_time,
+                               std::size_t level);
+
+/// Same, for the naive-EDF baseline the paper calls out as performing
+/// poorly: both sub-jobs keep the full relative deadline D_i.
+SplitDeadlines naive_deadlines(const Task& t, Duration response_time);
+
+}  // namespace rt::core

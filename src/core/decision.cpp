@@ -1,0 +1,22 @@
+#include "core/decision.hpp"
+
+#include <sstream>
+
+namespace rt::core {
+
+std::string Decision::to_string() const {
+  std::ostringstream oss;
+  if (!offloaded()) {
+    oss << "local";
+  } else {
+    oss << "offload(level=" << level << ", R=" << response_time.to_string() << ")";
+  }
+  oss << " benefit=" << claimed_benefit;
+  return oss.str();
+}
+
+DecisionVector all_local(std::size_t n) {
+  return DecisionVector(n, Decision::local());
+}
+
+}  // namespace rt::core

@@ -1,0 +1,50 @@
+#pragma once
+// Per-task offloading decisions produced by the Offloading Decision Manager
+// and consumed by the scheduler/simulator.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace rt::core {
+
+/// The decision for one task: which point of its benefit function to run
+/// at. Level 0 is the r = 0 point (pure local execution); level j >= 1
+/// offloads with estimated worst-case response time R_i = r_{i,j} (possibly
+/// the estimator's scaled view of it).
+struct Decision {
+  std::size_t level = 0;
+  /// R_i: when offloaded, the compensation timer armed at offload-send.
+  Duration response_time = Duration::zero();
+  /// The estimator's claimed benefit of this choice (weighted if the ODM
+  /// weighted the objective).
+  double claimed_benefit = 0.0;
+
+  [[nodiscard]] bool offloaded() const { return level > 0; }
+
+  [[nodiscard]] static Decision local(double claimed_benefit = 0.0) {
+    Decision d;
+    d.claimed_benefit = claimed_benefit;
+    return d;
+  }
+  [[nodiscard]] static Decision offload(std::size_t level, Duration response_time,
+                                        double claimed_benefit = 0.0) {
+    Decision d;
+    d.level = level;
+    d.response_time = response_time;
+    d.claimed_benefit = claimed_benefit;
+    return d;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// decisions[i] belongs to tasks[i].
+using DecisionVector = std::vector<Decision>;
+
+/// All-local decisions for n tasks (the trivial baseline).
+DecisionVector all_local(std::size_t n);
+
+}  // namespace rt::core

@@ -1,0 +1,43 @@
+#pragma once
+// Fixed-priority baseline: deadline-monotonic priorities and a
+// suspension-oblivious response-time analysis for the offloading task model.
+//
+// The paper schedules with EDF and split deadlines; it cites Ridouard,
+// Richard & Cottet [9] for why fixed-priority (and naive EDF) handle
+// self-suspending tasks poorly. This module makes that comparison concrete:
+// a classical RTA where an offloaded task tau_j interferes like a sporadic
+// task with execution C_{j,1} + C_{j,2} and release jitter R_j (the
+// suspension lets consecutive jobs' CPU demand compress), and an offloaded
+// task's own response adds its full suspension R_i. Sound but pessimistic
+// -- which is the point of the ablation.
+
+#include <vector>
+
+#include "core/decision.hpp"
+#include "core/task.hpp"
+
+namespace rt::core {
+
+/// Deadline-monotonic priority order: returns task indices from highest
+/// priority (smallest relative deadline) to lowest; ties by index.
+std::vector<std::size_t> deadline_monotonic_order(const TaskSet& tasks);
+
+/// Result of the response-time analysis for one task.
+struct RtaTaskResult {
+  Duration response = Duration::zero();  ///< worst-case response bound
+  bool converged = false;  ///< fixed point found within the deadline horizon
+  bool feasible = false;   ///< converged && response <= deadline
+};
+
+struct RtaResult {
+  std::vector<RtaTaskResult> per_task;  ///< indexed like the task set
+  bool feasible = false;                ///< all tasks feasible
+};
+
+/// Suspension-oblivious RTA under deadline-monotonic fixed priorities for
+/// the given offloading decisions. The iteration aborts (converged=false)
+/// once a response estimate exceeds the deadline -- a longer bound is
+/// useless for feasibility.
+RtaResult rta_fixed_priority(const TaskSet& tasks, const DecisionVector& decisions);
+
+}  // namespace rt::core

@@ -1,0 +1,129 @@
+#include "core/serialization.hpp"
+
+#include <stdexcept>
+
+namespace rt::core {
+
+namespace {
+
+Duration ms_field(const Json& j, const std::string& key) {
+  return Duration::from_ms(j.at(key).as_number());
+}
+
+Duration ms_field_or(const Json& j, const std::string& key, Duration fallback) {
+  if (!j.contains(key)) return fallback;
+  return Duration::from_ms(j.at(key).as_number());
+}
+
+}  // namespace
+
+Task task_from_json(const Json& j) {
+  Task t;
+  t.name = j.at("name").as_string();
+  t.period = ms_field(j, "period_ms");
+  t.deadline = ms_field_or(j, "deadline_ms", t.period);
+  t.local_wcet = ms_field(j, "local_wcet_ms");
+  t.setup_wcet = ms_field(j, "setup_wcet_ms");
+  t.compensation_wcet = ms_field_or(j, "compensation_wcet_ms", t.local_wcet);
+  t.post_wcet = ms_field_or(j, "post_wcet_ms", Duration::zero());
+  t.weight = j.number_or("weight", 1.0);
+  if (j.contains("response_upper_bound_ms")) {
+    t.response_upper_bound = ms_field(j, "response_upper_bound_ms");
+  }
+
+  if (j.contains("benefit")) {
+    std::vector<BenefitPoint> points;
+    for (const Json& entry : j.at("benefit").as_array()) {
+      const auto& pair = entry.as_array();
+      if (pair.size() != 2) {
+        throw std::invalid_argument("task '" + t.name +
+                                    "': benefit entries must be [r_ms, value]");
+      }
+      points.push_back(
+          {Duration::from_ms(pair[0].as_number()), pair[1].as_number()});
+    }
+    t.benefit = BenefitFunction(std::move(points));
+  }
+
+  auto per_level = [&](const char* key, std::vector<Duration>* out) {
+    if (!j.contains(key)) return;
+    for (const Json& v : j.at(key).as_array()) {
+      out->push_back(Duration::from_ms(v.as_number()));
+    }
+  };
+  per_level("setup_wcet_per_level_ms", &t.setup_wcet_per_level);
+  per_level("compensation_wcet_per_level_ms", &t.compensation_wcet_per_level);
+
+  t.validate();
+  return t;
+}
+
+Json task_to_json(const Task& t) {
+  Json::Object obj;
+  obj["name"] = t.name;
+  obj["period_ms"] = t.period.ms();
+  obj["deadline_ms"] = t.deadline.ms();
+  obj["local_wcet_ms"] = t.local_wcet.ms();
+  obj["setup_wcet_ms"] = t.setup_wcet.ms();
+  obj["compensation_wcet_ms"] = t.compensation_wcet.ms();
+  obj["post_wcet_ms"] = t.post_wcet.ms();
+  obj["weight"] = t.weight;
+  if (t.response_upper_bound.has_value()) {
+    obj["response_upper_bound_ms"] = t.response_upper_bound->ms();
+  }
+  Json::Array benefit;
+  for (const auto& p : t.benefit.points()) {
+    benefit.push_back(Json(Json::Array{Json(p.response_time.ms()), Json(p.value)}));
+  }
+  obj["benefit"] = Json(std::move(benefit));
+  auto per_level = [&](const char* key, const std::vector<Duration>& v) {
+    if (v.empty()) return;
+    Json::Array arr;
+    for (const Duration d : v) arr.push_back(Json(d.ms()));
+    obj[key] = Json(std::move(arr));
+  };
+  per_level("setup_wcet_per_level_ms", t.setup_wcet_per_level);
+  per_level("compensation_wcet_per_level_ms", t.compensation_wcet_per_level);
+  return Json(std::move(obj));
+}
+
+TaskSet task_set_from_json(const Json& j) {
+  TaskSet tasks;
+  for (const Json& entry : j.at("tasks").as_array()) {
+    tasks.push_back(task_from_json(entry));
+  }
+  validate_task_set(tasks);
+  return tasks;
+}
+
+Json task_set_to_json(const TaskSet& tasks) {
+  Json::Array arr;
+  arr.reserve(tasks.size());
+  for (const auto& t : tasks) arr.push_back(task_to_json(t));
+  Json::Object obj;
+  obj["tasks"] = Json(std::move(arr));
+  return Json(std::move(obj));
+}
+
+Json decisions_to_json(const TaskSet& tasks, const DecisionVector& decisions) {
+  if (tasks.size() != decisions.size()) {
+    throw std::invalid_argument("decisions_to_json: arity mismatch");
+  }
+  Json::Array arr;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    Json::Object obj;
+    obj["task"] = tasks[i].name;
+    obj["offloaded"] = decisions[i].offloaded();
+    if (decisions[i].offloaded()) {
+      obj["level"] = static_cast<std::int64_t>(decisions[i].level);
+      obj["response_time_ms"] = decisions[i].response_time.ms();
+    }
+    obj["claimed_benefit"] = decisions[i].claimed_benefit;
+    arr.push_back(Json(std::move(obj)));
+  }
+  Json::Object root;
+  root["decisions"] = Json(std::move(arr));
+  return Json(std::move(root));
+}
+
+}  // namespace rt::core

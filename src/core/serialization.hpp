@@ -1,0 +1,44 @@
+#pragma once
+// JSON (de)serialization of task sets and decisions.
+//
+// The on-disk schema (times in milliseconds, as humans write them):
+//
+//   {
+//     "tasks": [
+//       {
+//         "name": "camera",
+//         "period_ms": 100,
+//         "deadline_ms": 100,            // optional, defaults to period
+//         "local_wcet_ms": 40,
+//         "setup_wcet_ms": 4,
+//         "compensation_wcet_ms": 40,    // optional, defaults to local WCET
+//         "post_wcet_ms": 0,             // optional
+//         "weight": 1.0,                 // optional
+//         "response_upper_bound_ms": 60, // optional (C3 extension)
+//         "benefit": [[0, 1.0], [20, 5.0], [50, 9.0]]  // [r_ms, value]
+//       }
+//     ]
+//   }
+//
+// Parsing validates through Task::validate(), so a loaded set is usable
+// directly; serialization round-trips everything it writes.
+
+#include "core/decision.hpp"
+#include "core/task.hpp"
+#include "util/json.hpp"
+
+namespace rt::core {
+
+/// Builds a Task from its JSON object; throws Json*Error /
+/// std::invalid_argument with the offending field in the message.
+Task task_from_json(const Json& j);
+Json task_to_json(const Task& t);
+
+/// Whole-set round trip (expects/produces the {"tasks": [...]} envelope).
+TaskSet task_set_from_json(const Json& j);
+Json task_set_to_json(const TaskSet& tasks);
+
+/// Decisions report: per task name, local/offload, level, R, claimed value.
+Json decisions_to_json(const TaskSet& tasks, const DecisionVector& decisions);
+
+}  // namespace rt::core

@@ -1,0 +1,96 @@
+#include "core/task.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace rt::core {
+
+namespace {
+[[noreturn]] void fail(const Task& t, const std::string& what) {
+  throw std::invalid_argument("Task '" + t.name + "': " + what);
+}
+}  // namespace
+
+Duration Task::setup_for_level(std::size_t j) const {
+  if (setup_wcet_per_level.empty()) return setup_wcet;
+  return setup_wcet_per_level.at(j);
+}
+
+Duration Task::compensation_for_level(std::size_t j) const {
+  if (compensation_wcet_per_level.empty()) return compensation_wcet;
+  return compensation_wcet_per_level.at(j);
+}
+
+Duration Task::second_phase_budget(std::size_t level, Duration response_time) const {
+  if (response_upper_bound.has_value() && response_time >= *response_upper_bound) {
+    return post_wcet;
+  }
+  return compensation_for_level(level);
+}
+
+double Task::local_utilization() const {
+  return static_cast<double>(local_wcet.ns()) / static_cast<double>(period.ns());
+}
+
+void Task::validate() const {
+  if (!period.is_positive()) fail(*this, "period must be > 0");
+  if (!deadline.is_positive()) fail(*this, "deadline must be > 0");
+  if (deadline > period) fail(*this, "constrained deadline required (D <= T)");
+  if (local_wcet.is_negative() || !local_wcet.is_positive()) {
+    fail(*this, "local WCET must be > 0");
+  }
+  if (local_wcet > deadline) fail(*this, "local WCET exceeds the deadline");
+  if (setup_wcet.is_negative()) fail(*this, "negative setup WCET");
+  if (compensation_wcet.is_negative()) fail(*this, "negative compensation WCET");
+  if (post_wcet.is_negative()) fail(*this, "negative post-processing WCET");
+  if (post_wcet > compensation_wcet) {
+    fail(*this, "the analysis assumes C_{i,3} <= C_{i,2}");
+  }
+  if (!std::isfinite(weight) || weight <= 0.0) fail(*this, "weight must be > 0");
+  if (response_upper_bound.has_value() && !response_upper_bound->is_positive()) {
+    fail(*this, "response upper bound must be > 0 when present");
+  }
+  if (!setup_wcet_per_level.empty() &&
+      setup_wcet_per_level.size() != benefit.size()) {
+    fail(*this, "setup_wcet_per_level size must match the benefit function");
+  }
+  if (!compensation_wcet_per_level.empty() &&
+      compensation_wcet_per_level.size() != benefit.size()) {
+    fail(*this, "compensation_wcet_per_level size must match the benefit function");
+  }
+  for (std::size_t j = 1; j < benefit.size(); ++j) {
+    if (setup_for_level(j).is_negative()) fail(*this, "negative per-level setup");
+    if (compensation_for_level(j).is_negative()) {
+      fail(*this, "negative per-level compensation");
+    }
+    if (setup_for_level(j) + compensation_for_level(j) <= Duration::zero()) {
+      fail(*this, "offload level with zero setup+compensation");
+    }
+  }
+}
+
+void validate_task_set(const TaskSet& tasks) {
+  std::unordered_set<std::string> names;
+  for (const auto& t : tasks) {
+    t.validate();
+    if (!names.insert(t.name).second) {
+      throw std::invalid_argument("TaskSet: duplicate task name '" + t.name + "'");
+    }
+  }
+}
+
+Task make_simple_task(std::string name, Duration period, Duration local_wcet,
+                      Duration setup_wcet, Duration compensation_wcet) {
+  Task t;
+  t.name = std::move(name);
+  t.period = period;
+  t.deadline = period;
+  t.local_wcet = local_wcet;
+  t.setup_wcet = setup_wcet;
+  t.compensation_wcet = compensation_wcet;
+  t.post_wcet = Duration::zero();
+  return t;
+}
+
+}  // namespace rt::core

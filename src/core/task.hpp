@@ -1,0 +1,79 @@
+#pragma once
+// The sporadic task model with offloading phases (paper Sections 3 and 4).
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/benefit.hpp"
+#include "util/time.hpp"
+
+namespace rt::core {
+
+/// A sporadic real-time task tau_i. Implicit deadline (D_i == T_i) by
+/// default; constrained deadlines (D_i <= T_i) are supported throughout, as
+/// the paper notes the extension is straightforward.
+struct Task {
+  std::string name;
+
+  Duration period;    ///< T_i, minimum inter-arrival time; > 0
+  Duration deadline;  ///< D_i; 0 < D_i <= T_i
+
+  Duration local_wcet;         ///< C_i: whole job executed locally
+  Duration setup_wcet;         ///< C_{i,1}: offload preprocessing (scale/pack/send)
+  Duration compensation_wcet;  ///< C_{i,2}: local fallback on a missing result
+  Duration post_wcet;          ///< C_{i,3} <= C_{i,2}: result post-processing
+
+  /// Optional pessimistic upper bound B on the component's response time
+  /// (paper Section 3, the C_{i,3} extension): when the estimated response
+  /// time R_i is set >= B, results are guaranteed to arrive, so only the
+  /// post-processing C_{i,3} -- not the compensation C_{i,2} -- must be
+  /// budgeted for the second phase. Absent for truly unbounded components.
+  std::optional<Duration> response_upper_bound;
+
+  /// Importance weight (the case study weights tasks 1..4); scales the
+  /// benefit in the ODM objective and in accrued-benefit accounting.
+  double weight = 1.0;
+
+  BenefitFunction benefit;  ///< G_i
+
+  /// Optional per-level overrides C^j_{i,1} / C^j_{i,2} (paper Section 5.2,
+  /// last paragraph): index j aligns with benefit.point(j). Empty means the
+  /// uniform setup_wcet/compensation_wcet apply to every level. If present,
+  /// size must equal benefit.size(); index 0 (the local level) is unused.
+  std::vector<Duration> setup_wcet_per_level;
+  std::vector<Duration> compensation_wcet_per_level;
+
+  /// C_{i,1} effective at benefit level j.
+  [[nodiscard]] Duration setup_for_level(std::size_t j) const;
+  /// C_{i,2} effective at benefit level j.
+  [[nodiscard]] Duration compensation_for_level(std::size_t j) const;
+
+  /// WCET the analysis must reserve for the second phase when offloading at
+  /// level j with estimated response time R: the compensation C_{i,2},
+  /// unless a response upper bound B exists and R >= B, in which case the
+  /// result is guaranteed and only the post-processing C_{i,3} is needed.
+  [[nodiscard]] Duration second_phase_budget(std::size_t level,
+                                             Duration response_time) const;
+
+  /// Utilization C_i / T_i as a double (reporting only).
+  [[nodiscard]] double local_utilization() const;
+
+  /// Structural validation; throws std::invalid_argument with the task name
+  /// in the message.
+  void validate() const;
+};
+
+/// A task set is an ordered collection; decisions index into it.
+using TaskSet = std::vector<Task>;
+
+/// Validates every task and name uniqueness.
+void validate_task_set(const TaskSet& tasks);
+
+/// Convenience builder for tests and examples: implicit deadline, all four
+/// WCETs, local-only benefit.
+Task make_simple_task(std::string name, Duration period, Duration local_wcet,
+                      Duration setup_wcet, Duration compensation_wcet);
+
+}  // namespace rt::core

@@ -1,0 +1,122 @@
+#include "core/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rt::core {
+
+TaskSet make_paper_simulation_taskset(Rng& rng, const PaperSimConfig& config) {
+  if (config.num_tasks <= 0) {
+    throw std::invalid_argument("PaperSimConfig: num_tasks must be > 0");
+  }
+  if (config.probability_steps <= 0) {
+    throw std::invalid_argument("PaperSimConfig: probability_steps must be > 0");
+  }
+  TaskSet tasks;
+  tasks.reserve(static_cast<std::size_t>(config.num_tasks));
+  for (int i = 0; i < config.num_tasks; ++i) {
+    Task t;
+    t.name = "sim-task-" + std::to_string(i);
+    // Uniform in (0, wcet_max]: at microsecond resolution, never zero.
+    t.local_wcet = Duration::microseconds(
+        rng.uniform_int(1, config.wcet_max.ns() / 1'000));
+    t.setup_wcet = Duration::microseconds(
+        rng.uniform_int(1, config.wcet_max.ns() / 1'000));
+    t.compensation_wcet = t.local_wcet;  // C_{i,2} = C_i
+    t.post_wcet = Duration::zero();
+    t.period = Duration::milliseconds(rng.uniform_int(
+        config.period_min.ns() / 1'000'000, config.period_max.ns() / 1'000'000));
+    t.deadline = t.period;
+
+    // Sorted-uniform response times, strictly increasing at us resolution.
+    std::vector<std::int64_t> r_us;
+    r_us.reserve(static_cast<std::size_t>(config.probability_steps));
+    for (int j = 0; j < config.probability_steps; ++j) {
+      r_us.push_back(rng.uniform_int(config.response_min.ns() / 1'000,
+                                     config.response_max.ns() / 1'000));
+    }
+    std::sort(r_us.begin(), r_us.end());
+    for (std::size_t j = 1; j < r_us.size(); ++j) {
+      if (r_us[j] <= r_us[j - 1]) r_us[j] = r_us[j - 1] + 1;
+    }
+
+    std::vector<BenefitPoint> points;
+    points.push_back({Duration::zero(), 0.0});  // local: no high-perf output
+    for (int j = 0; j < config.probability_steps; ++j) {
+      BenefitPoint p;
+      p.response_time = Duration::microseconds(r_us[static_cast<std::size_t>(j)]);
+      p.value = static_cast<double>(j + 1) /
+                static_cast<double>(config.probability_steps);
+      points.push_back(p);
+    }
+    t.benefit = BenefitFunction(std::move(points));
+    tasks.push_back(std::move(t));
+  }
+  validate_task_set(tasks);
+  return tasks;
+}
+
+TaskSet make_random_taskset(Rng& rng, const RandomTasksetConfig& config) {
+  if (config.num_tasks <= 0) {
+    throw std::invalid_argument("RandomTasksetConfig: num_tasks must be > 0");
+  }
+  if (config.benefit_points < 1) {
+    throw std::invalid_argument("RandomTasksetConfig: need >= 1 benefit point");
+  }
+  if (!(config.period_min.is_positive()) || config.period_max < config.period_min) {
+    throw std::invalid_argument("RandomTasksetConfig: bad period range");
+  }
+  const std::vector<double> utils =
+      uunifast(rng, config.num_tasks, config.total_local_utilization);
+
+  TaskSet tasks;
+  tasks.reserve(static_cast<std::size_t>(config.num_tasks));
+  for (int i = 0; i < config.num_tasks; ++i) {
+    Task t;
+    t.name = "rand-task-" + std::to_string(i);
+    // Log-uniform period.
+    const double log_lo = std::log(static_cast<double>(config.period_min.ns()));
+    const double log_hi = std::log(static_cast<double>(config.period_max.ns()));
+    t.period = Duration::nanoseconds(static_cast<std::int64_t>(
+        std::exp(rng.uniform(log_lo, log_hi))));
+    t.deadline = t.period;
+    const double u = std::clamp(utils[static_cast<std::size_t>(i)], 1e-6, 0.999);
+    t.local_wcet = Duration::nanoseconds(std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(u * static_cast<double>(t.period.ns()))));
+    const double setup_frac =
+        rng.uniform(config.setup_fraction_min, config.setup_fraction_max);
+    t.setup_wcet = Duration::nanoseconds(std::max<std::int64_t>(
+        1,
+        static_cast<std::int64_t>(setup_frac *
+                                  static_cast<double>(t.local_wcet.ns()))));
+    t.compensation_wcet = t.local_wcet;
+    t.post_wcet = Duration::zero();
+
+    // Concave probability-style benefit curve over the deadline fractions.
+    std::vector<BenefitPoint> points;
+    points.push_back({Duration::zero(), 0.0});
+    for (int j = 1; j <= config.benefit_points; ++j) {
+      const double frac_lo = config.response_deadline_fraction_min;
+      const double frac_hi = config.response_deadline_fraction_max;
+      const double frac =
+          frac_lo + (frac_hi - frac_lo) * static_cast<double>(j) /
+                        static_cast<double>(config.benefit_points);
+      BenefitPoint p;
+      p.response_time = t.deadline.scaled(frac);
+      if (!points.empty() && p.response_time <= points.back().response_time) {
+        p.response_time = points.back().response_time + Duration::nanoseconds(1);
+      }
+      // 1 - exp(-k j / n): concave, saturating.
+      p.value = 1.0 - std::exp(-2.5 * static_cast<double>(j) /
+                               static_cast<double>(config.benefit_points));
+      points.push_back(p);
+    }
+    t.benefit = BenefitFunction(std::move(points));
+    tasks.push_back(std::move(t));
+  }
+  validate_task_set(tasks);
+  return tasks;
+}
+
+}  // namespace rt::core

@@ -1,0 +1,49 @@
+#pragma once
+// Random task-set generators for the evaluation harnesses.
+//
+// make_paper_simulation_taskset reproduces the generator of paper
+// Section 6.2 (Figure 3); make_random_taskset is a UUniFast-based general
+// generator for the acceptance-ratio ablations.
+
+#include "core/task.hpp"
+#include "util/rng.hpp"
+
+namespace rt::core {
+
+/// Paper Section 6.2: 30 tasks; C_{i,1} and C_i uniform in (0, 20] ms with
+/// C_{i,2} = C_i; T_i = D_i uniform integer in [600, 700] ms; the benefit
+/// is the probability of a timely result, 10%..100% in ten steps, at
+/// sorted-uniform response times in [100, 200] ms. G_i(0) = 0: a local
+/// execution produces no higher-performance output.
+struct PaperSimConfig {
+  int num_tasks = 30;
+  Duration wcet_max = Duration::milliseconds(20);
+  Duration period_min = Duration::milliseconds(600);
+  Duration period_max = Duration::milliseconds(700);
+  Duration response_min = Duration::milliseconds(100);
+  Duration response_max = Duration::milliseconds(200);
+  int probability_steps = 10;  ///< 10% ... 100%
+};
+
+TaskSet make_paper_simulation_taskset(Rng& rng, const PaperSimConfig& config = {});
+
+/// General generator: UUniFast local utilizations, log-uniform periods,
+/// setup time a random fraction of the local WCET, compensation equal to
+/// the local WCET (the paper's baseline-quality fallback), and a synthetic
+/// concave probability-style benefit curve.
+struct RandomTasksetConfig {
+  int num_tasks = 10;
+  double total_local_utilization = 0.5;
+  Duration period_min = Duration::milliseconds(10);
+  Duration period_max = Duration::milliseconds(1000);
+  double setup_fraction_min = 0.05;  ///< C1 as a fraction of C
+  double setup_fraction_max = 0.3;
+  int benefit_points = 5;  ///< offloading levels per task (plus the local one)
+  /// Benefit breakpoints land between these fractions of the deadline.
+  double response_deadline_fraction_min = 0.1;
+  double response_deadline_fraction_max = 0.6;
+};
+
+TaskSet make_random_taskset(Rng& rng, const RandomTasksetConfig& config = {});
+
+}  // namespace rt::core

@@ -1,0 +1,48 @@
+#include "img/exec_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rt::img {
+
+const char* to_string(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kStereoVision: return "Stereo Vision";
+    case TaskKind::kEdgeDetection: return "Edge Detection";
+    case TaskKind::kObjectRecognition: return "Object recognition";
+    case TaskKind::kMotionDetection: return "Motion Detection";
+  }
+  return "unknown";
+}
+
+double task_cost_factor(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kStereoVision: return 1.25;       // block search over disparities
+    case TaskKind::kEdgeDetection: return 0.45;      // a couple of convolutions
+    case TaskKind::kObjectRecognition: return 1.0;   // SIFT-like reference
+    case TaskKind::kMotionDetection: return 0.30;    // frame diff + stats
+  }
+  throw std::invalid_argument("task_cost_factor: unknown kind");
+}
+
+namespace {
+rt::Duration scaled(double ns_per_pixel, double factor, std::size_t pixels,
+                    rt::Duration fixed) {
+  const double ns = ns_per_pixel * factor * static_cast<double>(pixels);
+  return fixed + rt::Duration::nanoseconds(static_cast<std::int64_t>(std::llround(ns)));
+}
+}  // namespace
+
+rt::Duration ExecTimeModel::local_exec(TaskKind kind, std::size_t pixels) const {
+  return scaled(cpu_ns_per_pixel, task_cost_factor(kind), pixels, cpu_fixed);
+}
+
+rt::Duration ExecTimeModel::gpu_exec(TaskKind kind, std::size_t pixels) const {
+  return scaled(gpu_ns_per_pixel, task_cost_factor(kind), pixels, gpu_fixed);
+}
+
+rt::Duration ExecTimeModel::setup_exec(std::size_t payload_pixels) const {
+  return scaled(setup_ns_per_pixel, 1.0, payload_pixels, setup_fixed);
+}
+
+}  // namespace rt::img

@@ -1,0 +1,49 @@
+#pragma once
+// Execution-time model for the vision workloads.
+//
+// The paper measured its kernels on an Intel i3-2310M CPU and Nvidia GPUs;
+// its motivation example pins SIFT at 300x200 to ~278 ms on the CPU and
+// ~7 ms on a GT 630M. We model execution time as
+//     fixed_overhead + ns_per_pixel * pixels * task_factor
+// and calibrate ns_per_pixel so the 300x200 point lands on the paper's
+// numbers. Only the relative magnitudes matter for the reproduction.
+
+#include <cstddef>
+
+#include "util/time.hpp"
+
+namespace rt::img {
+
+enum class TaskKind {
+  kStereoVision,
+  kEdgeDetection,
+  kObjectRecognition,
+  kMotionDetection,
+};
+
+const char* to_string(TaskKind kind);
+
+/// Relative compute cost of each task w.r.t. the object-recognition
+/// (SIFT-like) reference kernel.
+double task_cost_factor(TaskKind kind);
+
+struct ExecTimeModel {
+  double cpu_ns_per_pixel = 4633.0;  ///< 278 ms / (300*200) pixels
+  double gpu_ns_per_pixel = 116.0;   ///< 7 ms / (300*200) pixels
+  double setup_ns_per_pixel = 55.0;  ///< scaling + packing on the client
+  rt::Duration cpu_fixed = rt::Duration::microseconds(200);
+  rt::Duration gpu_fixed = rt::Duration::microseconds(350);   ///< kernel launch
+  rt::Duration setup_fixed = rt::Duration::microseconds(120);
+
+  /// WCET of running the kernel locally on the embedded CPU.
+  [[nodiscard]] rt::Duration local_exec(TaskKind kind, std::size_t pixels) const;
+  /// Pure GPU compute time (excludes network; the server model adds that).
+  [[nodiscard]] rt::Duration gpu_exec(TaskKind kind, std::size_t pixels) const;
+  /// Client-side setup C_{i,1}: scaling, packing, handing to the radio.
+  [[nodiscard]] rt::Duration setup_exec(std::size_t payload_pixels) const;
+
+  /// Default model calibrated to the paper's motivation example.
+  [[nodiscard]] static ExecTimeModel calibrated() { return {}; }
+};
+
+}  // namespace rt::img

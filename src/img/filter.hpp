@@ -1,0 +1,25 @@
+#pragma once
+// Convolution building blocks shared by the vision tasks.
+
+#include <array>
+
+#include "img/image.hpp"
+
+namespace rt::img {
+
+/// 3x3 convolution with edge clamping; kernel in row-major order.
+Image convolve3x3(const Image& src, const std::array<float, 9>& kernel);
+
+/// Separable Gaussian blur (5-tap binomial approximation).
+Image gaussian_blur5(const Image& src);
+
+/// Sobel gradient magnitude, normalized into [0, 1].
+Image sobel_magnitude(const Image& src);
+
+/// Binary threshold: pixel >= threshold ? 1 : 0.
+Image threshold(const Image& src, float thresh);
+
+/// Absolute per-pixel difference; dimension-checked.
+Image abs_diff(const Image& a, const Image& b);
+
+}  // namespace rt::img

@@ -1,0 +1,270 @@
+#include "img/image.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace rt::img {
+
+Image::Image(int width, int height, float fill)
+    : width_(width), height_(height) {
+  if (width < 0 || height < 0) {
+    throw std::invalid_argument("Image: negative dimensions");
+  }
+  pixels_.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+                 fill);
+}
+
+float& Image::at(int x, int y) {
+  return pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+}
+
+float Image::at(int x, int y) const {
+  return pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+}
+
+float Image::at_clamped(int x, int y) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return at(x, y);
+}
+
+float Image::sample_bilinear(float x, float y) const {
+  const int x0 = static_cast<int>(std::floor(x));
+  const int y0 = static_cast<int>(std::floor(y));
+  const float fx = x - static_cast<float>(x0);
+  const float fy = y - static_cast<float>(y0);
+  const float v00 = at_clamped(x0, y0);
+  const float v10 = at_clamped(x0 + 1, y0);
+  const float v01 = at_clamped(x0, y0 + 1);
+  const float v11 = at_clamped(x0 + 1, y0 + 1);
+  const float top = v00 + fx * (v10 - v00);
+  const float bot = v01 + fx * (v11 - v01);
+  return top + fy * (bot - top);
+}
+
+void Image::clamp01() {
+  for (auto& p : pixels_) p = std::clamp(p, 0.0f, 1.0f);
+}
+
+double Image::mean() const {
+  if (pixels_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const float p : pixels_) sum += p;
+  return sum / static_cast<double>(pixels_.size());
+}
+
+void Image::save_pgm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_pgm: cannot open " + path);
+  out << "P5\n" << width_ << ' ' << height_ << "\n255\n";
+  for (const float p : pixels_) {
+    const float clamped = std::clamp(p, 0.0f, 1.0f);
+    out.put(static_cast<char>(static_cast<unsigned char>(clamped * 255.0f + 0.5f)));
+  }
+  if (!out) throw std::runtime_error("save_pgm: write failed for " + path);
+}
+
+Image Image::load_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_pgm: cannot open " + path);
+  std::string magic;
+  in >> magic;
+  if (magic != "P5") throw std::runtime_error("load_pgm: not a P5 PGM: " + path);
+  auto next_int = [&]() -> int {
+    // Skip whitespace and '#' comment lines between header tokens.
+    for (;;) {
+      const int c = in.peek();
+      if (c == '#') {
+        std::string line;
+        std::getline(in, line);
+      } else if (std::isspace(c)) {
+        in.get();
+      } else {
+        break;
+      }
+    }
+    int v = -1;
+    in >> v;
+    if (!in || v < 0) throw std::runtime_error("load_pgm: bad header in " + path);
+    return v;
+  };
+  const int w = next_int();
+  const int h = next_int();
+  const int maxval = next_int();
+  if (w <= 0 || h <= 0 || maxval <= 0 || maxval > 255) {
+    throw std::runtime_error("load_pgm: unsupported dimensions/maxval in " + path);
+  }
+  in.get();  // the single whitespace byte before the raster
+  Image im(w, h);
+  std::vector<unsigned char> raster(static_cast<std::size_t>(w) *
+                                    static_cast<std::size_t>(h));
+  in.read(reinterpret_cast<char*>(raster.data()),
+          static_cast<std::streamsize>(raster.size()));
+  if (static_cast<std::size_t>(in.gcount()) != raster.size()) {
+    throw std::runtime_error("load_pgm: truncated raster in " + path);
+  }
+  for (std::size_t i = 0; i < raster.size(); ++i) {
+    im.data()[i] = static_cast<float>(raster[i]) / static_cast<float>(maxval);
+  }
+  return im;
+}
+
+namespace {
+
+struct SceneObject {
+  bool is_disc;
+  int x, y, w, h;     // bounding box (disc: ellipse inscribed)
+  float intensity;
+};
+
+std::vector<SceneObject> make_objects(int width, int height, const SceneSpec& spec,
+                                      Rng& rng) {
+  std::vector<SceneObject> objs;
+  const int total = spec.num_rectangles + spec.num_discs;
+  objs.reserve(static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) {
+    SceneObject o;
+    o.is_disc = i >= spec.num_rectangles;
+    o.w = static_cast<int>(rng.uniform_int(width / 12 + 1, width / 4 + 2));
+    o.h = static_cast<int>(rng.uniform_int(height / 12 + 1, height / 4 + 2));
+    o.x = static_cast<int>(rng.uniform_int(0, std::max(0, width - o.w)));
+    o.y = static_cast<int>(rng.uniform_int(0, std::max(0, height - o.h)));
+    o.intensity = static_cast<float>(rng.uniform(0.15, 0.95));
+    objs.push_back(o);
+  }
+  return objs;
+}
+
+void paint(Image& im, const std::vector<SceneObject>& objs) {
+  for (const auto& o : objs) {
+    const float cx = static_cast<float>(o.x) + static_cast<float>(o.w) / 2.0f;
+    const float cy = static_cast<float>(o.y) + static_cast<float>(o.h) / 2.0f;
+    const float rx = static_cast<float>(o.w) / 2.0f;
+    const float ry = static_cast<float>(o.h) / 2.0f;
+    for (int y = std::max(0, o.y); y < std::min(im.height(), o.y + o.h); ++y) {
+      for (int x = std::max(0, o.x); x < std::min(im.width(), o.x + o.w); ++x) {
+        if (o.is_disc) {
+          const float dx = (static_cast<float>(x) - cx) / rx;
+          const float dy = (static_cast<float>(y) - cy) / ry;
+          if (dx * dx + dy * dy > 1.0f) continue;
+        }
+        im.at(x, y) = o.intensity;
+      }
+    }
+  }
+}
+
+void add_texture(Image& im, double amplitude, Rng& rng) {
+  for (auto& p : im.data()) {
+    p += static_cast<float>(rng.uniform(-amplitude, amplitude));
+  }
+  // Deterministic high-frequency checker modulation: survives under no
+  // low-pass, so downscaling provably loses it.
+  for (int y = 0; y < im.height(); ++y) {
+    for (int x = 0; x < im.width(); ++x) {
+      const float checker = (((x ^ y) & 1) != 0) ? 1.0f : -1.0f;
+      im.at(x, y) += static_cast<float>(amplitude) * 0.5f * checker;
+    }
+  }
+  im.clamp01();
+}
+
+}  // namespace
+
+Image make_scene(int width, int height, const SceneSpec& spec) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("make_scene: non-positive dimensions");
+  }
+  Rng rng(spec.seed);
+  Image im(width, height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const float gx = static_cast<float>(x) / static_cast<float>(width);
+      const float gy = static_cast<float>(y) / static_cast<float>(height);
+      im.at(x, y) =
+          0.25f + static_cast<float>(spec.gradient_strength) * 0.5f * (gx + gy);
+    }
+  }
+  paint(im, make_objects(width, height, spec, rng));
+  add_texture(im, spec.texture_amplitude, rng);
+  return im;
+}
+
+StereoPair make_stereo_pair(int width, int height, std::uint64_t seed,
+                            int max_disparity) {
+  if (max_disparity < 1) {
+    throw std::invalid_argument("make_stereo_pair: max_disparity must be >= 1");
+  }
+  SceneSpec spec;
+  spec.seed = seed;
+  spec.texture_amplitude = 0.03;
+  Rng rng(seed);
+  Image base(width, height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      base.at(x, y) = 0.3f + 0.2f * static_cast<float>(y) / static_cast<float>(height);
+    }
+  }
+  auto objs = make_objects(width, height, spec, rng);
+  StereoPair pair;
+  pair.left = base;
+  pair.right = base;
+  pair.max_disparity = max_disparity;
+  paint(pair.left, objs);
+  // Shift objects left->right proportionally to an assigned depth.
+  for (std::size_t i = 0; i < objs.size(); ++i) {
+    const int disparity = 1 + static_cast<int>(i % static_cast<std::size_t>(max_disparity));
+    objs[i].x -= disparity;
+  }
+  paint(pair.right, objs);
+  Rng tex_rng(seed ^ 0x5EEDull);
+  add_texture(pair.left, spec.texture_amplitude, tex_rng);
+  Rng tex_rng2(seed ^ 0x5EEDull);
+  add_texture(pair.right, spec.texture_amplitude, tex_rng2);
+  return pair;
+}
+
+MotionPair make_motion_pair(int width, int height, std::uint64_t seed,
+                            int moved_objects, int shift) {
+  SceneSpec spec;
+  spec.seed = seed;
+  spec.texture_amplitude = 0.0;  // keep frames noise-free so diffs are pure motion
+  Rng rng(seed);
+  Image base(width, height, 0.4f);
+  auto objs = make_objects(width, height, spec, rng);
+  MotionPair pair;
+  pair.frame0 = base;
+  pair.frame1 = base;
+  paint(pair.frame0, objs);
+  const int moved = std::min<int>(moved_objects, static_cast<int>(objs.size()));
+  for (int i = 0; i < moved; ++i) {
+    objs[static_cast<std::size_t>(i)].x += shift;
+    objs[static_cast<std::size_t>(i)].y += shift / 2;
+  }
+  paint(pair.frame1, objs);
+  pair.moved_objects = moved;
+  return pair;
+}
+
+Image crop(const Image& src, int x, int y, int w, int h) {
+  x = std::clamp(x, 0, std::max(0, src.width() - 1));
+  y = std::clamp(y, 0, std::max(0, src.height() - 1));
+  w = std::clamp(w, 0, src.width() - x);
+  h = std::clamp(h, 0, src.height() - y);
+  Image out(w, h);
+  for (int yy = 0; yy < h; ++yy) {
+    for (int xx = 0; xx < w; ++xx) {
+      out.at(xx, yy) = src.at(x + xx, y + yy);
+    }
+  }
+  return out;
+}
+
+}  // namespace rt::img

@@ -1,0 +1,97 @@
+#pragma once
+// Grayscale image substrate for the case-study workloads.
+//
+// The paper's case study measures the benefit of offloading as the PSNR of
+// scaled camera images (Table 1). We have no camera, so scenes are
+// generated deterministically (seeded) with enough structure -- gradients,
+// blocks, discs, texture -- that scaling genuinely loses information and
+// PSNR behaves like it does on natural images.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rt::img {
+
+/// Grayscale image, float pixels in [0, 1], row-major.
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, float fill = 0.0f);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] std::size_t size() const { return pixels_.size(); }
+  [[nodiscard]] bool empty() const { return pixels_.empty(); }
+
+  [[nodiscard]] float& at(int x, int y);
+  [[nodiscard]] float at(int x, int y) const;
+  /// Clamped access: coordinates outside the image are clamped to the edge.
+  [[nodiscard]] float at_clamped(int x, int y) const;
+  /// Bilinear sample at fractional coordinates (clamped).
+  [[nodiscard]] float sample_bilinear(float x, float y) const;
+
+  [[nodiscard]] const std::vector<float>& data() const { return pixels_; }
+  [[nodiscard]] std::vector<float>& data() { return pixels_; }
+
+  /// Clamps every pixel into [0, 1].
+  void clamp01();
+
+  /// Mean pixel value (0 for an empty image).
+  [[nodiscard]] double mean() const;
+
+  /// Serializes to binary PGM (P5, 8-bit); throws std::runtime_error on IO
+  /// failure. Handy for eyeballing benchmark inputs.
+  void save_pgm(const std::string& path) const;
+
+  /// Loads a binary PGM (P5, maxval <= 255, '#' comments allowed); throws
+  /// std::runtime_error on IO or format errors.
+  static Image load_pgm(const std::string& path);
+
+  bool operator==(const Image& o) const = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<float> pixels_;
+};
+
+/// Parameters of the deterministic synthetic scene generator.
+struct SceneSpec {
+  std::uint64_t seed = 1;
+  int num_rectangles = 6;
+  int num_discs = 5;
+  double texture_amplitude = 0.06;  ///< high-frequency detail, the part scaling destroys
+  double gradient_strength = 0.5;
+};
+
+/// Generates a synthetic "camera" scene: smooth gradient background,
+/// randomly placed rectangles/discs of varying intensity, plus value
+/// texture. Deterministic in (spec.seed, w, h).
+Image make_scene(int width, int height, const SceneSpec& spec = {});
+
+/// Stereo pair: `right` is `left` with foreground objects shifted by a
+/// disparity that decreases with object "depth"; returns {left, right}.
+struct StereoPair {
+  Image left;
+  Image right;
+  int max_disparity;  ///< largest shift applied, in pixels
+};
+StereoPair make_stereo_pair(int width, int height, std::uint64_t seed,
+                            int max_disparity = 12);
+
+/// Motion pair: second frame has a subset of objects translated; returns
+/// the frames and the number of moved objects.
+struct MotionPair {
+  Image frame0;
+  Image frame1;
+  int moved_objects;
+};
+MotionPair make_motion_pair(int width, int height, std::uint64_t seed,
+                            int moved_objects = 3, int shift = 4);
+
+/// Cuts the patch at (x, y) with the given size (clamped to bounds).
+Image crop(const Image& src, int x, int y, int w, int h);
+
+}  // namespace rt::img

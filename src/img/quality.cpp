@@ -1,0 +1,66 @@
+#include "img/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rt::img {
+
+namespace {
+void check_pair(const Image& a, const Image& b, const char* who) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument(std::string(who) + ": empty image");
+  }
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument(std::string(who) + ": dimension mismatch");
+  }
+}
+}  // namespace
+
+double mse(const Image& a, const Image& b) {
+  check_pair(a, b, "mse");
+  double acc = 0.0;
+  const auto& pa = a.data();
+  const auto& pb = b.data();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double d = static_cast<double>(pa[i]) - static_cast<double>(pb[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(pa.size());
+}
+
+double psnr(const Image& a, const Image& b) {
+  const double e = mse(a, b);
+  if (e <= 0.0) return kPsnrCap;
+  const double v = 10.0 * std::log10(1.0 / e);
+  return std::min(v, kPsnrCap);
+}
+
+double ssim_global(const Image& a, const Image& b) {
+  check_pair(a, b, "ssim_global");
+  const double n = static_cast<double>(a.size());
+  double mu_a = 0.0, mu_b = 0.0;
+  for (const float p : a.data()) mu_a += p;
+  for (const float p : b.data()) mu_b += p;
+  mu_a /= n;
+  mu_b /= n;
+  double var_a = 0.0, var_b = 0.0, cov = 0.0;
+  const auto& pa = a.data();
+  const auto& pb = b.data();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const double da = pa[i] - mu_a;
+    const double db = pb[i] - mu_b;
+    var_a += da * da;
+    var_b += db * db;
+    cov += da * db;
+  }
+  var_a /= n;
+  var_b /= n;
+  cov /= n;
+  constexpr double c1 = 0.01 * 0.01;
+  constexpr double c2 = 0.03 * 0.03;
+  return ((2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2)) /
+         ((mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2));
+}
+
+}  // namespace rt::img

@@ -1,0 +1,68 @@
+#include "img/scale.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rt::img {
+
+Image resize(const Image& src, int new_w, int new_h, ScaleFilter filter) {
+  if (new_w <= 0 || new_h <= 0) {
+    throw std::invalid_argument("resize: non-positive target dimensions");
+  }
+  if (src.empty()) throw std::invalid_argument("resize: empty source");
+  Image out(new_w, new_h);
+  const float sx = static_cast<float>(src.width()) / static_cast<float>(new_w);
+  const float sy = static_cast<float>(src.height()) / static_cast<float>(new_h);
+  for (int y = 0; y < new_h; ++y) {
+    for (int x = 0; x < new_w; ++x) {
+      // Center-aligned mapping.
+      const float fx = (static_cast<float>(x) + 0.5f) * sx - 0.5f;
+      const float fy = (static_cast<float>(y) + 0.5f) * sy - 0.5f;
+      if (filter == ScaleFilter::kNearest) {
+        out.at(x, y) = src.at_clamped(static_cast<int>(std::lround(fx)),
+                                      static_cast<int>(std::lround(fy)));
+      } else {
+        out.at(x, y) = src.sample_bilinear(fx, fy);
+      }
+    }
+  }
+  return out;
+}
+
+double level_fraction(int level, int num_levels) {
+  if (num_levels < 1) throw std::invalid_argument("level_fraction: num_levels < 1");
+  if (level < 1 || level > num_levels) {
+    throw std::invalid_argument("level_fraction: level out of range");
+  }
+  if (num_levels == 1) return 1.0;
+  // Smallest level keeps 1/num_levels of the linear size; the largest keeps
+  // everything.
+  return static_cast<double>(level) / static_cast<double>(num_levels);
+}
+
+Image scale_to_level(const Image& src, int level, int num_levels,
+                     ScaleFilter filter) {
+  const double f = level_fraction(level, num_levels);
+  const int w = std::max(1, static_cast<int>(std::lround(src.width() * f)));
+  const int h = std::max(1, static_cast<int>(std::lround(src.height() * f)));
+  if (w == src.width() && h == src.height()) return src;
+  return resize(src, w, h, filter);
+}
+
+Image round_trip(const Image& src, int level, int num_levels, ScaleFilter filter) {
+  const Image down = scale_to_level(src, level, num_levels, filter);
+  if (down.width() == src.width() && down.height() == src.height()) return down;
+  return resize(down, src.width(), src.height(), filter);
+}
+
+std::size_t level_payload_bytes(int width, int height, int level, int num_levels) {
+  const double f = level_fraction(level, num_levels);
+  const auto w = static_cast<std::size_t>(
+      std::max(1, static_cast<int>(std::lround(width * f))));
+  const auto h = static_cast<std::size_t>(
+      std::max(1, static_cast<int>(std::lround(height * f))));
+  return w * h;  // one byte per pixel
+}
+
+}  // namespace rt::img

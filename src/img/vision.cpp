@@ -1,0 +1,105 @@
+#include "img/vision.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rt::img {
+
+Image stereo_disparity(const Image& left, const Image& right, int max_disparity,
+                       int block_radius) {
+  if (left.width() != right.width() || left.height() != right.height()) {
+    throw std::invalid_argument("stereo_disparity: dimension mismatch");
+  }
+  if (max_disparity < 1) {
+    throw std::invalid_argument("stereo_disparity: max_disparity must be >= 1");
+  }
+  if (block_radius < 0) {
+    throw std::invalid_argument("stereo_disparity: negative block radius");
+  }
+  Image out(left.width(), left.height());
+  for (int y = 0; y < left.height(); ++y) {
+    for (int x = 0; x < left.width(); ++x) {
+      float best_sad = std::numeric_limits<float>::max();
+      int best_d = 0;
+      for (int d = 0; d <= max_disparity; ++d) {
+        float sad = 0.0f;
+        for (int by = -block_radius; by <= block_radius; ++by) {
+          for (int bx = -block_radius; bx <= block_radius; ++bx) {
+            sad += std::fabs(left.at_clamped(x + bx, y + by) -
+                             right.at_clamped(x + bx - d, y + by));
+          }
+        }
+        if (sad < best_sad) {
+          best_sad = sad;
+          best_d = d;
+        }
+      }
+      out.at(x, y) = static_cast<float>(best_d) / static_cast<float>(max_disparity);
+    }
+  }
+  return out;
+}
+
+Image edge_detect(const Image& src, float thresh) {
+  return threshold(sobel_magnitude(gaussian_blur5(src)), thresh);
+}
+
+MatchResult match_template(const Image& scene, const Image& templ) {
+  if (templ.empty() || scene.empty()) {
+    throw std::invalid_argument("match_template: empty image");
+  }
+  if (templ.width() > scene.width() || templ.height() > scene.height()) {
+    throw std::invalid_argument("match_template: template larger than scene");
+  }
+  const int tw = templ.width();
+  const int th = templ.height();
+  const double tn = static_cast<double>(tw) * th;
+
+  double t_mean = templ.mean();
+  double t_var = 0.0;
+  for (const float p : templ.data()) {
+    const double d = p - t_mean;
+    t_var += d * d;
+  }
+
+  MatchResult best;
+  best.score = -2.0;
+  for (int y = 0; y + th <= scene.height(); ++y) {
+    for (int x = 0; x + tw <= scene.width(); ++x) {
+      double s_sum = 0.0, s_sq = 0.0, cross = 0.0;
+      for (int ty = 0; ty < th; ++ty) {
+        for (int tx = 0; tx < tw; ++tx) {
+          const double s = scene.at(x + tx, y + ty);
+          const double t = templ.at(tx, ty);
+          s_sum += s;
+          s_sq += s * s;
+          cross += s * t;
+        }
+      }
+      const double s_mean = s_sum / tn;
+      const double s_var = s_sq - s_sum * s_mean;
+      const double numer = cross - s_sum * t_mean;
+      const double denom = std::sqrt(std::max(s_var, 0.0) * t_var);
+      const double score = denom > 1e-12 ? numer / denom : 0.0;
+      if (score > best.score) {
+        best.score = score;
+        best.x = x;
+        best.y = y;
+      }
+    }
+  }
+  return best;
+}
+
+MotionResult detect_motion(const Image& frame0, const Image& frame1, float thresh) {
+  MotionResult res;
+  res.mask = threshold(abs_diff(frame0, frame1), thresh);
+  double changed = 0.0;
+  for (const float p : res.mask.data()) changed += p;
+  res.changed_ratio =
+      res.mask.size() ? changed / static_cast<double>(res.mask.size()) : 0.0;
+  return res;
+}
+
+}  // namespace rt::img

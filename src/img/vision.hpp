@@ -1,0 +1,41 @@
+#pragma once
+// The four case-study vision workloads (paper Section 6.1): stereo vision,
+// edge detection, object recognition, motion detection. These are real
+// (scalar CPU) implementations -- the paper ran CUDA kernels on a Tesla
+// M2050; here only the *results* and *relative costs* matter, so faithful
+// classic algorithms suffice (see DESIGN.md substitution table).
+
+#include "img/filter.hpp"
+#include "img/image.hpp"
+
+namespace rt::img {
+
+/// Block-matching stereo: per-pixel disparity in [0, max_disparity] via SAD
+/// over (2*block_radius+1)^2 windows, searching leftwards in the right
+/// image. Output pixels are disparity / max_disparity in [0, 1].
+Image stereo_disparity(const Image& left, const Image& right, int max_disparity,
+                       int block_radius = 3);
+
+/// Edge detection: Gaussian blur + Sobel magnitude + threshold.
+Image edge_detect(const Image& src, float thresh = 0.25f);
+
+/// Template matching by normalized cross-correlation.
+struct MatchResult {
+  int x = 0;
+  int y = 0;
+  double score = -1.0;  ///< NCC in [-1, 1]
+};
+/// Finds the patch of `scene` best matching `templ`. Throws when the
+/// template does not fit into the scene.
+MatchResult match_template(const Image& scene, const Image& templ);
+
+/// Motion detection: thresholded frame difference; returns the changed-pixel
+/// ratio in [0, 1] and optionally the binary motion mask.
+struct MotionResult {
+  double changed_ratio = 0.0;
+  Image mask;
+};
+MotionResult detect_motion(const Image& frame0, const Image& frame1,
+                           float thresh = 0.08f);
+
+}  // namespace rt::img

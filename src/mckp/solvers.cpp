@@ -1,0 +1,398 @@
+#include "mckp/solvers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rt::mckp {
+
+namespace {
+
+/// Minimal-total-weight selection (cheapest item per class); the canonical
+/// fallback when no feasible selection exists.
+Selection min_weight_selection(const Instance& inst) {
+  std::vector<int> pick;
+  pick.reserve(inst.classes.size());
+  for (const auto& cls : inst.classes) {
+    int best = 0;
+    for (std::size_t j = 1; j < cls.size(); ++j) {
+      const auto& it = cls[j];
+      const auto& bi = cls[static_cast<std::size_t>(best)];
+      if (it.weight < bi.weight ||
+          (it.weight == bi.weight && it.profit > bi.profit)) {
+        best = static_cast<int>(j);
+      }
+    }
+    pick.push_back(best);
+  }
+  return evaluate(inst, std::move(pick));
+}
+
+}  // namespace
+
+const char* to_string(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kDpProfits: return "dp-profits";
+    case SolverKind::kDpWeights: return "dp-weights";
+    case SolverKind::kHeuOe: return "heu-oe";
+    case SolverKind::kBruteForce: return "brute-force";
+  }
+  return "unknown";
+}
+
+Selection solve_brute_force(const Instance& inst) {
+  inst.validate();
+  double space = 1.0;
+  for (const auto& cls : inst.classes) space *= static_cast<double>(cls.size());
+  if (space > 2e7) {
+    throw std::invalid_argument("solve_brute_force: search space too large");
+  }
+  if (inst.classes.empty()) {
+    Selection empty;
+    empty.feasible = true;
+    return empty;
+  }
+
+  const std::size_t m = inst.classes.size();
+  std::vector<int> pick(m, 0);
+  Selection best;
+  best.feasible = false;
+  best.profit = -1.0;
+  bool found = false;
+
+  for (;;) {
+    Selection cur = evaluate(inst, pick);
+    if (cur.feasible &&
+        (!found || cur.profit > best.profit ||
+         (cur.profit == best.profit && cur.weight < best.weight))) {
+      best = cur;
+      found = true;
+    }
+    // Odometer increment.
+    std::size_t c = 0;
+    while (c < m) {
+      if (++pick[c] < static_cast<int>(inst.classes[c].size())) break;
+      pick[c] = 0;
+      ++c;
+    }
+    if (c == m) break;
+  }
+  if (!found) return min_weight_selection(inst);
+  return best;
+}
+
+Selection solve_dp_profits(const Instance& inst, double profit_scale) {
+  inst.validate();
+  if (!(profit_scale > 0.0)) {
+    throw std::invalid_argument("solve_dp_profits: profit_scale must be > 0");
+  }
+  const std::size_t m = inst.classes.size();
+  if (m == 0) {
+    Selection empty;
+    empty.feasible = true;
+    return empty;
+  }
+
+  // Discretize profits.
+  std::vector<std::vector<std::int64_t>> q(m);
+  std::int64_t total_q = 0;
+  for (std::size_t c = 0; c < m; ++c) {
+    std::int64_t qmax = 0;
+    q[c].reserve(inst.classes[c].size());
+    for (const auto& item : inst.classes[c]) {
+      const auto v = static_cast<std::int64_t>(std::llround(item.profit * profit_scale));
+      q[c].push_back(v);
+      qmax = std::max(qmax, v);
+    }
+    total_q += qmax;
+  }
+  if (total_q > 50'000'000 ||
+      static_cast<double>(total_q + 1) * static_cast<double>(m) > 4e8) {
+    throw std::invalid_argument(
+        "solve_dp_profits: scaled profit space too large; lower profit_scale");
+  }
+
+  const auto P = static_cast<std::size_t>(total_q);
+  std::vector<std::int64_t> dp(P + 1, kInfWeight);
+  // choice[c][p]: item picked in class c on the min-weight path reaching
+  // scaled profit p after processing classes 0..c. -1 = unreachable.
+  std::vector<std::vector<std::int32_t>> choice(
+      m, std::vector<std::int32_t>(P + 1, -1));
+
+  for (std::size_t j = 0; j < inst.classes[0].size(); ++j) {
+    const auto p = static_cast<std::size_t>(q[0][j]);
+    const std::int64_t w = inst.classes[0][j].weight;
+    if (w < dp[p]) {
+      dp[p] = w;
+      choice[0][p] = static_cast<std::int32_t>(j);
+    }
+  }
+
+  std::vector<std::int64_t> next(P + 1);
+  for (std::size_t c = 1; c < m; ++c) {
+    std::fill(next.begin(), next.end(), kInfWeight);
+    for (std::size_t p = 0; p <= P; ++p) {
+      if (dp[p] >= kInfWeight) continue;
+      for (std::size_t j = 0; j < inst.classes[c].size(); ++j) {
+        const auto tgt = p + static_cast<std::size_t>(q[c][j]);
+        const std::int64_t w = add_weight_sat(dp[p], inst.classes[c][j].weight);
+        if (w < next[tgt]) {
+          next[tgt] = w;
+          choice[c][tgt] = static_cast<std::int32_t>(j);
+        }
+      }
+    }
+    dp.swap(next);
+  }
+
+  // Largest scaled profit whose minimal weight fits the capacity.
+  std::ptrdiff_t best_p = -1;
+  for (std::size_t p = 0; p <= P; ++p) {
+    if (dp[p] <= inst.capacity) best_p = static_cast<std::ptrdiff_t>(p);
+  }
+  if (best_p < 0) return min_weight_selection(inst);
+
+  // Reconstruct.
+  std::vector<int> pick(m, -1);
+  auto p = static_cast<std::size_t>(best_p);
+  for (std::size_t c = m; c-- > 0;) {
+    const std::int32_t j = choice[c][p];
+    if (j < 0) throw std::logic_error("solve_dp_profits: broken DP path");
+    pick[c] = j;
+    p -= static_cast<std::size_t>(q[c][static_cast<std::size_t>(j)]);
+  }
+  return evaluate(inst, std::move(pick));
+}
+
+Selection solve_dp_weights(const Instance& inst, std::size_t grid) {
+  inst.validate();
+  if (grid == 0) throw std::invalid_argument("solve_dp_weights: zero grid");
+  const std::size_t m = inst.classes.size();
+  if (m == 0) {
+    Selection empty;
+    empty.feasible = true;
+    return empty;
+  }
+  if (static_cast<double>(grid + 1) * static_cast<double>(m) > 4e8) {
+    throw std::invalid_argument("solve_dp_weights: grid too large");
+  }
+
+  // Item weight in grid units, rounded UP => any reported-feasible
+  // selection is truly feasible.
+  const std::int64_t cap = inst.capacity;
+  auto to_units = [&](std::int64_t w) -> std::int64_t {
+    if (w == 0) return 0;
+    if (cap == 0) return static_cast<std::int64_t>(grid) + 1;  // never fits
+    const auto g = static_cast<__int128>(grid);
+    const __int128 units = (static_cast<__int128>(w) * g + cap - 1) / cap;
+    return units > static_cast<__int128>(grid) + 1
+               ? static_cast<std::int64_t>(grid) + 1
+               : static_cast<std::int64_t>(units);
+  };
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<double> dp(grid + 1, kNegInf);  // dp[u]: max profit, units == u
+  std::vector<std::vector<std::int32_t>> choice(
+      m, std::vector<std::int32_t>(grid + 1, -1));
+
+  for (std::size_t j = 0; j < inst.classes[0].size(); ++j) {
+    const std::int64_t u = to_units(inst.classes[0][j].weight);
+    if (u > static_cast<std::int64_t>(grid)) continue;
+    const auto uu = static_cast<std::size_t>(u);
+    if (inst.classes[0][j].profit > dp[uu]) {
+      dp[uu] = inst.classes[0][j].profit;
+      choice[0][uu] = static_cast<std::int32_t>(j);
+    }
+  }
+
+  std::vector<double> next(grid + 1);
+  for (std::size_t c = 1; c < m; ++c) {
+    std::fill(next.begin(), next.end(), kNegInf);
+    for (std::size_t u = 0; u <= grid; ++u) {
+      if (dp[u] == kNegInf) continue;
+      for (std::size_t j = 0; j < inst.classes[c].size(); ++j) {
+        const std::int64_t du = to_units(inst.classes[c][j].weight);
+        const std::int64_t tgt = static_cast<std::int64_t>(u) + du;
+        if (tgt > static_cast<std::int64_t>(grid)) continue;
+        const auto t = static_cast<std::size_t>(tgt);
+        const double p = dp[u] + inst.classes[c][j].profit;
+        if (p > next[t]) {
+          next[t] = p;
+          choice[c][t] = static_cast<std::int32_t>(j);
+        }
+      }
+    }
+    dp.swap(next);
+  }
+
+  std::ptrdiff_t best_u = -1;
+  double best_profit = kNegInf;
+  for (std::size_t u = 0; u <= grid; ++u) {
+    if (dp[u] > best_profit) {
+      best_profit = dp[u];
+      best_u = static_cast<std::ptrdiff_t>(u);
+    }
+  }
+  if (best_u < 0) return min_weight_selection(inst);
+
+  std::vector<int> pick(m, -1);
+  auto u = static_cast<std::size_t>(best_u);
+  for (std::size_t c = m; c-- > 0;) {
+    const std::int32_t j = choice[c][u];
+    if (j < 0) throw std::logic_error("solve_dp_weights: broken DP path");
+    pick[c] = j;
+    u -= static_cast<std::size_t>(to_units(
+        inst.classes[c][static_cast<std::size_t>(j)].weight));
+  }
+  return evaluate(inst, std::move(pick));
+}
+
+namespace {
+
+struct HullStep {
+  std::size_t cls;
+  std::size_t hull_pos;  // applying moves the class from hull_pos-1 to hull_pos
+  std::int64_t dw;
+  double dp;
+  double efficiency;
+};
+
+/// Builds the base selection (cheapest hull item per class) and the list of
+/// hull upgrade steps sorted by decreasing efficiency, preserving per-class
+/// order on ties.
+struct GreedyState {
+  std::vector<ReducedClass> reduced;
+  Selection base;
+  std::vector<HullStep> steps;
+};
+
+GreedyState prepare_greedy(const Instance& inst) {
+  GreedyState st;
+  st.reduced.reserve(inst.classes.size());
+  std::vector<int> pick;
+  pick.reserve(inst.classes.size());
+  for (const auto& cls : inst.classes) {
+    st.reduced.push_back(reduce_class(cls));
+    pick.push_back(st.reduced.back().hull.front());
+  }
+  st.base = evaluate(inst, std::move(pick));
+
+  for (std::size_t c = 0; c < inst.classes.size(); ++c) {
+    const auto& hull = st.reduced[c].hull;
+    for (std::size_t k = 1; k < hull.size(); ++k) {
+      const auto& prev = inst.classes[c][static_cast<std::size_t>(hull[k - 1])];
+      const auto& cur = inst.classes[c][static_cast<std::size_t>(hull[k])];
+      HullStep s;
+      s.cls = c;
+      s.hull_pos = k;
+      s.dw = cur.weight - prev.weight;
+      s.dp = cur.profit - prev.profit;
+      s.efficiency = s.dp / static_cast<double>(s.dw);
+      st.steps.push_back(s);
+    }
+  }
+  std::stable_sort(st.steps.begin(), st.steps.end(),
+                   [](const HullStep& a, const HullStep& b) {
+                     if (a.efficiency != b.efficiency) {
+                       return a.efficiency > b.efficiency;
+                     }
+                     if (a.cls != b.cls) return a.cls < b.cls;
+                     return a.hull_pos < b.hull_pos;
+                   });
+  return st;
+}
+
+}  // namespace
+
+Selection solve_greedy_heu_oe(const Instance& inst) {
+  inst.validate();
+  if (inst.classes.empty()) {
+    Selection empty;
+    empty.feasible = true;
+    return empty;
+  }
+  GreedyState st = prepare_greedy(inst);
+  if (!st.base.feasible) return st.base;  // even the cheapest picks overflow
+
+  std::vector<std::size_t> pos(inst.classes.size(), 0);
+  std::vector<int> pick = st.base.pick;
+  std::int64_t weight = st.base.weight;
+
+  // Phase 1: efficiency-ordered hull ascent.
+  for (const auto& s : st.steps) {
+    if (pos[s.cls] + 1 != s.hull_pos) continue;  // an earlier step was skipped
+    if (add_weight_sat(weight, s.dw) > inst.capacity) continue;
+    weight += s.dw;
+    pos[s.cls] = s.hull_pos;
+    pick[s.cls] = st.reduced[s.cls].hull[s.hull_pos];
+  }
+
+  // Phase 2 ("OE" residual pass): keep applying the best single-class swap
+  // to any undominated item (not only hull items) that still fits. Profit
+  // strictly increases each round, so this terminates.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    double best_gain = 0.0;
+    std::size_t best_cls = 0;
+    int best_item = -1;
+    std::int64_t best_dw = 0;
+    for (std::size_t c = 0; c < inst.classes.size(); ++c) {
+      const auto& cur = inst.classes[c][static_cast<std::size_t>(pick[c])];
+      for (const int j : st.reduced[c].undominated) {
+        const auto& cand = inst.classes[c][static_cast<std::size_t>(j)];
+        const double gain = cand.profit - cur.profit;
+        if (gain <= best_gain) continue;
+        const std::int64_t dw = cand.weight - cur.weight;
+        if (dw > 0 && weight + dw > inst.capacity) continue;
+        best_gain = gain;
+        best_cls = c;
+        best_item = j;
+        best_dw = dw;
+      }
+    }
+    if (best_item >= 0) {
+      pick[best_cls] = best_item;
+      weight += best_dw;
+      improved = true;
+    }
+  }
+  return evaluate(inst, std::move(pick));
+}
+
+double lp_upper_bound(const Instance& inst) {
+  inst.validate();
+  if (inst.classes.empty()) return 0.0;
+  GreedyState st = prepare_greedy(inst);
+  if (!st.base.feasible) return -std::numeric_limits<double>::infinity();
+
+  std::vector<std::size_t> pos(inst.classes.size(), 0);
+  double profit = st.base.profit;
+  std::int64_t remaining = inst.capacity - st.base.weight;
+  for (const auto& s : st.steps) {
+    if (pos[s.cls] + 1 != s.hull_pos) continue;
+    if (s.dw <= remaining) {
+      remaining -= s.dw;
+      profit += s.dp;
+      pos[s.cls] = s.hull_pos;
+    } else {
+      // First non-fitting step taken fractionally: Dantzig bound.
+      profit += s.efficiency * static_cast<double>(remaining);
+      return profit;
+    }
+  }
+  return profit;
+}
+
+Selection solve(const Instance& inst, SolverKind kind, double profit_scale) {
+  switch (kind) {
+    case SolverKind::kDpProfits: return solve_dp_profits(inst, profit_scale);
+    case SolverKind::kDpWeights: return solve_dp_weights(inst);
+    case SolverKind::kHeuOe: return solve_greedy_heu_oe(inst);
+    case SolverKind::kBruteForce: return solve_brute_force(inst);
+  }
+  throw std::invalid_argument("solve: unknown solver kind");
+}
+
+}  // namespace rt::mckp

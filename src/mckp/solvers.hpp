@@ -1,0 +1,67 @@
+#pragma once
+// MCKP solvers.
+//
+// The paper (Section 5.2) solves the offloading-selection MCKP with
+//  (1) the pseudo-polynomial dynamic programming algorithm of
+//      Dudzinski & Walukiewicz [5] -- implemented here as DP over profits
+//      (minimal weight per achievable profit), which keeps the capacity
+//      comparison exact because weights are never discretized; and
+//  (2) the HEU-OE heuristic from Khan's thesis [6] -- implemented as the
+//      classical convex-hull incremental-efficiency greedy with a residual
+//      upgrade pass (see DESIGN.md for the substitution note).
+// A brute-force solver (test oracle), a capacity-grid DP variant, and an
+// LP-relaxation upper bound complete the family.
+
+#include "mckp/instance.hpp"
+
+namespace rt::mckp {
+
+enum class SolverKind {
+  kDpProfits,   ///< Dudzinski-Walukiewicz DP (exact up to profit rounding)
+  kDpWeights,   ///< DP over a capacity grid (weights rounded UP: sound)
+  kHeuOe,       ///< greedy heuristic (feasible, near-optimal)
+  kBruteForce,  ///< exact enumeration (tiny instances only)
+};
+
+const char* to_string(SolverKind kind);
+
+/// Exact enumeration. Complexity is the product of class sizes; intended as
+/// a test oracle for small instances. Throws std::invalid_argument when the
+/// search space exceeds ~20M combinations.
+Selection solve_brute_force(const Instance& inst);
+
+/// Dudzinski-Walukiewicz dynamic program over profits.
+///
+/// Profits are discretized as round(profit * profit_scale); the DP computes,
+/// for every reachable integer total profit, the minimal total weight, then
+/// returns the largest profit whose minimal weight fits the capacity.
+/// The result is optimal with respect to the discretized profits (exact when
+/// all profit*profit_scale are integral). Weights stay exact int64
+/// throughout. Memory/time: O(num_classes * total_scaled_profit).
+///
+/// Returns feasible=false iff even the minimal-weight selection exceeds the
+/// capacity (no valid assignment of one item per class fits).
+Selection solve_dp_profits(const Instance& inst, double profit_scale = 1000.0);
+
+/// DP over a discretized capacity axis with `grid` cells. Item weights are
+/// rounded UP to the grid, so any selection reported feasible is truly
+/// feasible (sound), but near-boundary selections may be missed
+/// (incomplete). Useful as a fast approximation and as an ablation of the
+/// profit-DP design choice.
+Selection solve_dp_weights(const Instance& inst, std::size_t grid = 10000);
+
+/// HEU-OE style greedy: start from the minimal-weight item of each class,
+/// then apply convex-hull upgrade steps in order of decreasing incremental
+/// efficiency while they fit; finish with a residual pass that applies any
+/// remaining single-class upgrade (not only hull steps) that still fits.
+Selection solve_greedy_heu_oe(const Instance& inst);
+
+/// Upper bound from the LP relaxation (Dantzig-style on the hulls): greedy
+/// ascent value plus the fractional part of the first non-fitting hull step.
+/// Any feasible selection's profit is <= this bound.
+double lp_upper_bound(const Instance& inst);
+
+/// Dispatch helper.
+Selection solve(const Instance& inst, SolverKind kind, double profit_scale = 1000.0);
+
+}  // namespace rt::mckp

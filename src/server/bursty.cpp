@@ -1,0 +1,62 @@
+#include "server/bursty.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rt::server {
+
+BurstyResponse::BurstyResponse(BurstyConfig config, std::uint64_t seed)
+    : config_(std::move(config)), state_rng_(seed), seed_(seed) {
+  if (config_.calm == nullptr || config_.burst == nullptr) {
+    throw std::invalid_argument("BurstyResponse: both state models required");
+  }
+  if (!config_.mean_calm_duration.is_positive() ||
+      !config_.mean_burst_duration.is_positive()) {
+    throw std::invalid_argument("BurstyResponse: dwell times must be > 0");
+  }
+}
+
+void BurstyResponse::reset() {
+  state_rng_ = Rng(seed_);
+  in_burst_ = false;
+  primed_ = false;
+  config_.calm->reset();
+  config_.burst->reset();
+}
+
+void BurstyResponse::advance_to(TimePoint t) {
+  if (!primed_) {
+    next_switch_ = TimePoint::zero() +
+                   Duration::from_seconds(state_rng_.exponential(
+                       1.0 / config_.mean_calm_duration.sec()));
+    primed_ = true;
+  }
+  while (next_switch_ <= t) {
+    in_burst_ = !in_burst_;
+    const Duration mean =
+        in_burst_ ? config_.mean_burst_duration : config_.mean_calm_duration;
+    next_switch_ += Duration::from_seconds(
+        state_rng_.exponential(1.0 / mean.sec()));
+  }
+}
+
+Duration BurstyResponse::sample(const Request& req, Rng& rng) {
+  advance_to(req.send_time);
+  return (in_burst_ ? config_.burst : config_.calm)->sample(req, rng);
+}
+
+bool BurstyResponse::in_burst_at(TimePoint t) {
+  advance_to(t);
+  return in_burst_;
+}
+
+std::unique_ptr<BurstyResponse> make_default_bursty(std::uint64_t seed) {
+  BurstyConfig cfg;
+  cfg.calm = std::make_unique<ShiftedLognormalResponse>(
+      Duration::milliseconds(5), std::log(15.0), 0.4, 0.0);
+  cfg.burst = std::make_unique<ShiftedLognormalResponse>(
+      Duration::milliseconds(150), std::log(400.0), 0.9, 0.15);
+  return std::make_unique<BurstyResponse>(std::move(cfg), seed);
+}
+
+}  // namespace rt::server

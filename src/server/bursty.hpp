@@ -1,0 +1,57 @@
+#pragma once
+// Markov-modulated (bursty) response model.
+//
+// Real shared GPU boxes do not fail uniformly: other applications come and
+// go, so the server alternates between calm phases (fast responses) and
+// bursts (long queues). A two-state Markov-modulated process captures
+// exactly the failure pattern that makes percentile estimation hard -- and
+// is the stress test for the compensation mechanism: during a burst almost
+// every offload blows its estimate and the CPU absorbs consecutive
+// compensations.
+
+#include <memory>
+
+#include "server/response_model.hpp"
+
+namespace rt::server {
+
+struct BurstyConfig {
+  /// Mean dwell time in each state (exponentially distributed).
+  Duration mean_calm_duration = Duration::seconds(5);
+  Duration mean_burst_duration = Duration::seconds(1);
+  /// Response models active per state (owned).
+  std::unique_ptr<ResponseModel> calm;
+  std::unique_ptr<ResponseModel> burst;
+};
+
+/// Two-state modulated model: each request is served by the model of the
+/// state active at its send time. State changes are sampled lazily from the
+/// dwell-time distributions, so requests must arrive in non-decreasing
+/// send-time order (as the simulator guarantees).
+class BurstyResponse final : public ResponseModel {
+ public:
+  BurstyResponse(BurstyConfig config, std::uint64_t seed);
+
+  Duration sample(const Request& req, Rng& rng) override;
+  void reset() override;
+
+  /// Diagnostic: true when the state active at `t` is the burst state.
+  /// Advances internal state like sample() does.
+  [[nodiscard]] bool in_burst_at(TimePoint t);
+
+ private:
+  void advance_to(TimePoint t);
+
+  BurstyConfig config_;
+  Rng state_rng_;
+  std::uint64_t seed_;
+  bool in_burst_ = false;
+  TimePoint next_switch_;
+  bool primed_ = false;
+};
+
+/// Convenience preset: calm = near-idle shifted log-normal, burst = heavy
+/// queueing delays with drops.
+std::unique_ptr<BurstyResponse> make_default_bursty(std::uint64_t seed);
+
+}  // namespace rt::server

@@ -1,0 +1,151 @@
+#include "server/gpu_server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rt::server {
+
+void GpuServerConfig::validate() const {
+  if (num_executors < 1) {
+    throw std::invalid_argument("GpuServerConfig: need at least one executor");
+  }
+  if (dispatch_overhead.is_negative()) {
+    throw std::invalid_argument("GpuServerConfig: negative dispatch overhead");
+  }
+  if (background.arrivals_per_sec < 0.0) {
+    throw std::invalid_argument("GpuServerConfig: negative background rate");
+  }
+  if (!background.mean_service.is_positive()) {
+    throw std::invalid_argument("GpuServerConfig: background service must be > 0");
+  }
+  network.validate();
+}
+
+QueueingGpuServer::QueueingGpuServer(GpuServerConfig config,
+                                     std::uint64_t background_seed)
+    : config_(std::move(config)), bg_rng_(background_seed), seed_(background_seed) {
+  config_.validate();
+  busy_until_.assign(static_cast<std::size_t>(config_.num_executors),
+                     TimePoint::zero());
+}
+
+void QueueingGpuServer::reset() {
+  bg_rng_ = Rng(seed_);
+  std::fill(busy_until_.begin(), busy_until_.end(), TimePoint::zero());
+  next_bg_arrival_ = TimePoint::zero();
+  bg_primed_ = false;
+}
+
+double QueueingGpuServer::background_utilization() const {
+  return config_.background.arrivals_per_sec * config_.background.mean_service.sec() /
+         static_cast<double>(config_.num_executors);
+}
+
+std::size_t QueueingGpuServer::earliest_executor() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < busy_until_.size(); ++i) {
+    if (busy_until_[i] < busy_until_[best]) best = i;
+  }
+  return best;
+}
+
+void QueueingGpuServer::advance_background(TimePoint now) {
+  const double rate = config_.background.arrivals_per_sec;
+  if (rate <= 0.0) return;
+  if (!bg_primed_) {
+    next_bg_arrival_ = TimePoint::zero() +
+                       Duration::from_seconds(bg_rng_.exponential(rate));
+    bg_primed_ = true;
+  }
+  while (next_bg_arrival_ <= now) {
+    // Log-normal service time with the configured mean:
+    // E[exp(N(mu, s))] = exp(mu + s^2/2)  =>  mu = ln(mean) - s^2/2.
+    const double s = config_.background.service_sigma_log;
+    const double mu = std::log(config_.background.mean_service.sec()) - 0.5 * s * s;
+    const auto service = Duration::from_seconds(bg_rng_.lognormal(mu, s));
+    const std::size_t ex = earliest_executor();
+    const TimePoint start = std::max(busy_until_[ex], next_bg_arrival_);
+    busy_until_[ex] = start + config_.dispatch_overhead + service;
+    next_bg_arrival_ += Duration::from_seconds(bg_rng_.exponential(rate));
+  }
+}
+
+Duration QueueingGpuServer::sample(const Request& req, Rng& rng) {
+  const Duration uplink = config_.network.sample_transfer(req.payload_bytes, rng);
+  if (uplink == Duration::max()) return kNoResponse;
+  const TimePoint arrival = req.send_time + uplink;
+  advance_background(arrival);
+
+  const std::size_t ex = earliest_executor();
+  const TimePoint start = std::max(busy_until_[ex], arrival);
+  const TimePoint done = start + config_.dispatch_overhead + req.compute_time;
+  busy_until_[ex] = done;
+
+  // Results are small (features/flags), so downlink carries a token payload.
+  const Duration downlink = config_.network.sample_transfer(1024, rng);
+  if (downlink == Duration::max()) return kNoResponse;
+  return (done + downlink) - req.send_time;
+}
+
+const char* to_string(Scenario s) {
+  switch (s) {
+    case Scenario::kBusy: return "busy";
+    case Scenario::kNotBusy: return "not-busy";
+    case Scenario::kIdle: return "idle";
+  }
+  return "unknown";
+}
+
+GpuServerConfig make_scenario_config(Scenario scenario) {
+  GpuServerConfig cfg;
+  cfg.num_executors = 2;
+  switch (scenario) {
+    case Scenario::kBusy:
+      // rho ~ 0.95 with heavy tails: most offloads blow their estimates.
+      cfg.background.arrivals_per_sec = 230.0;
+      cfg.background.mean_service = Duration::from_ms(8.3);
+      cfg.background.service_sigma_log = 0.9;
+      cfg.network.jitter = 0.9;
+      cfg.network.loss_probability = 0.02;
+      break;
+    case Scenario::kNotBusy:
+      // rho ~ 0.5: a part of the offloads make it.
+      cfg.background.arrivals_per_sec = 120.0;
+      cfg.background.mean_service = Duration::from_ms(8.3);
+      cfg.background.service_sigma_log = 0.7;
+      cfg.network.jitter = 0.5;
+      cfg.network.loss_probability = 0.005;
+      break;
+    case Scenario::kIdle:
+      cfg.background.arrivals_per_sec = 0.0;
+      cfg.network.jitter = 0.25;
+      cfg.network.loss_probability = 0.0;
+      break;
+  }
+  return cfg;
+}
+
+std::unique_ptr<QueueingGpuServer> make_scenario_server(Scenario scenario,
+                                                        std::uint64_t seed) {
+  return std::make_unique<QueueingGpuServer>(make_scenario_config(scenario), seed);
+}
+
+std::vector<Duration> collect_response_samples(ResponseModel& model,
+                                               const Request& prototype,
+                                               Duration inter_send, std::size_t n,
+                                               Rng& rng) {
+  if (!inter_send.is_positive()) {
+    throw std::invalid_argument("collect_response_samples: inter_send must be > 0");
+  }
+  std::vector<Duration> out;
+  out.reserve(n);
+  Request req = prototype;
+  for (std::size_t i = 0; i < n; ++i) {
+    req.send_time = prototype.send_time + inter_send * static_cast<std::int64_t>(i);
+    out.push_back(model.sample(req, rng));
+  }
+  return out;
+}
+
+}  // namespace rt::server

@@ -1,0 +1,92 @@
+#pragma once
+// Queueing model of the remote GPU server (the rCUDA-style proxy of the
+// paper's case study: a host process dispatching offloaded kernels onto a
+// small set of GPUs, shared with other -- background -- applications).
+//
+// The server is *stateful*: executor busy times and lazily generated
+// background traffic persist across requests, so response times naturally
+// develop load-dependent queueing tails. This is what makes the component
+// "timing unreliable": nothing here has a useful worst case.
+
+#include <memory>
+#include <vector>
+
+#include "server/network.hpp"
+#include "server/response_model.hpp"
+
+namespace rt::server {
+
+/// Poisson background traffic occupying the executors.
+struct BackgroundLoad {
+  double arrivals_per_sec = 0.0;      ///< Poisson rate of other apps' jobs
+  Duration mean_service = Duration::milliseconds(8);
+  double service_sigma_log = 0.6;     ///< log-normal shape of service times
+};
+
+struct GpuServerConfig {
+  int num_executors = 2;              ///< the case study's two Tesla M2050s
+  Duration dispatch_overhead = Duration::microseconds(400);  ///< proxy hop
+  NetworkModel network;               ///< client <-> server link
+  BackgroundLoad background;
+
+  void validate() const;
+};
+
+/// Discrete-event queueing GPU server implementing ResponseModel.
+///
+/// On each request: sample the uplink transfer; merge all background jobs
+/// that arrived before the request reaches the server; place the request on
+/// the earliest-free executor (FIFO); add dispatch + compute + downlink.
+/// Requires non-decreasing send_time across calls (discrete-event order).
+class QueueingGpuServer final : public ResponseModel {
+ public:
+  QueueingGpuServer(GpuServerConfig config, std::uint64_t background_seed);
+
+  Duration sample(const Request& req, Rng& rng) override;
+  void reset() override;
+
+  [[nodiscard]] const GpuServerConfig& config() const { return config_; }
+  /// Offered background utilization rho = lambda * E[S] / m (diagnostic).
+  [[nodiscard]] double background_utilization() const;
+
+ private:
+  /// Generates background arrivals up to `now`, occupying executors.
+  void advance_background(TimePoint now);
+  /// Earliest-free executor index.
+  [[nodiscard]] std::size_t earliest_executor() const;
+
+  GpuServerConfig config_;
+  Rng bg_rng_;
+  std::vector<TimePoint> busy_until_;
+  TimePoint next_bg_arrival_;
+  bool bg_primed_ = false;
+  std::uint64_t seed_;
+};
+
+/// The three case-study scenarios (paper Section 6.1.3).
+enum class Scenario {
+  kBusy,     ///< scenario 1: server saturated by other applications
+  kNotBusy,  ///< scenario 2: moderate background load
+  kIdle,     ///< scenario 3: server exclusively ours
+};
+
+const char* to_string(Scenario s);
+
+/// Preset server for a scenario. Background rates are chosen so that, with
+/// the case study's workloads, only a small / a part / a large fraction of
+/// offloaded jobs return within their estimated response times.
+GpuServerConfig make_scenario_config(Scenario scenario);
+
+/// Convenience: a ready-to-use server for the scenario.
+std::unique_ptr<QueueingGpuServer> make_scenario_server(Scenario scenario,
+                                                        std::uint64_t seed);
+
+/// Collects n response samples by probing the server with identical
+/// requests spaced `inter_send` apart starting at time 0. Used by the
+/// Benefit & Response Time Estimator to fit percentiles offline.
+std::vector<Duration> collect_response_samples(ResponseModel& model,
+                                               const Request& prototype,
+                                               Duration inter_send, std::size_t n,
+                                               Rng& rng);
+
+}  // namespace rt::server

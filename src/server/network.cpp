@@ -1,0 +1,37 @@
+#include "server/network.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rt::server {
+
+void NetworkModel::validate() const {
+  if (base_latency.is_negative()) {
+    throw std::invalid_argument("NetworkModel: negative latency");
+  }
+  if (!(bandwidth_bytes_per_sec > 0.0)) {
+    throw std::invalid_argument("NetworkModel: bandwidth must be > 0");
+  }
+  if (jitter < 0.0) throw std::invalid_argument("NetworkModel: negative jitter");
+  if (loss_probability < 0.0 || loss_probability > 1.0) {
+    throw std::invalid_argument("NetworkModel: bad loss probability");
+  }
+}
+
+Duration NetworkModel::sample_transfer(std::size_t payload_bytes, Rng& rng) const {
+  if (loss_probability > 0.0 && rng.bernoulli(loss_probability)) {
+    return Duration::max();
+  }
+  const double j = 1.0 + rng.uniform(0.0, jitter);
+  const double transfer_s =
+      static_cast<double>(payload_bytes) / bandwidth_bytes_per_sec;
+  return Duration::from_seconds(base_latency.sec() * j + transfer_s * j);
+}
+
+Duration NetworkModel::nominal_transfer(std::size_t payload_bytes) const {
+  const double transfer_s =
+      static_cast<double>(payload_bytes) / bandwidth_bytes_per_sec;
+  return base_latency + Duration::from_seconds(transfer_s);
+}
+
+}  // namespace rt::server

@@ -1,0 +1,29 @@
+#pragma once
+// Wireless-link model between the embedded client and the GPU server.
+
+#include <cstddef>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace rt::server {
+
+/// Latency + bandwidth + multiplicative jitter link model. Transfer time of
+/// a payload is
+///   base_latency * J + payload / bandwidth * J,   J ~ 1 + U(0, jitter).
+struct NetworkModel {
+  Duration base_latency = Duration::milliseconds(2);
+  double bandwidth_bytes_per_sec = 3.0e6;  ///< ~24 Mbit/s effective WLAN
+  double jitter = 0.5;                     ///< up to +50 % per transfer
+  double loss_probability = 0.0;           ///< transfer never completes
+
+  /// Sampled one-way transfer time; kNoResponse-compatible max() on loss.
+  [[nodiscard]] Duration sample_transfer(std::size_t payload_bytes, Rng& rng) const;
+
+  /// Jitter-free transfer time (used by estimators as the nominal cost).
+  [[nodiscard]] Duration nominal_transfer(std::size_t payload_bytes) const;
+
+  void validate() const;
+};
+
+}  // namespace rt::server

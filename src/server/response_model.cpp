@@ -1,0 +1,63 @@
+#include "server/response_model.hpp"
+
+#include <stdexcept>
+
+namespace rt::server {
+
+ShiftedLognormalResponse::ShiftedLognormalResponse(Duration shift, double mu_log_ms,
+                                                   double sigma_log,
+                                                   double drop_probability)
+    : shift_(shift), mu_(mu_log_ms), sigma_(sigma_log),
+      drop_probability_(drop_probability) {
+  if (shift.is_negative()) {
+    throw std::invalid_argument("ShiftedLognormalResponse: negative shift");
+  }
+  if (sigma_log < 0.0) {
+    throw std::invalid_argument("ShiftedLognormalResponse: negative sigma");
+  }
+  if (drop_probability < 0.0 || drop_probability > 1.0) {
+    throw std::invalid_argument("ShiftedLognormalResponse: bad drop probability");
+  }
+}
+
+Duration ShiftedLognormalResponse::sample(const Request&, Rng& rng) {
+  if (drop_probability_ > 0.0 && rng.bernoulli(drop_probability_)) return kNoResponse;
+  const double ms = rng.lognormal(mu_, sigma_);
+  return shift_ + Duration::from_ms(ms);
+}
+
+BoundedResponse::BoundedResponse(std::unique_ptr<ResponseModel> inner,
+                                 Duration bound)
+    : inner_(std::move(inner)), bound_(bound) {
+  if (inner_ == nullptr) {
+    throw std::invalid_argument("BoundedResponse: null inner model");
+  }
+  if (!bound.is_positive()) {
+    throw std::invalid_argument("BoundedResponse: bound must be > 0");
+  }
+}
+
+Duration BoundedResponse::sample(const Request& req, Rng& rng) {
+  const Duration inner = inner_->sample(req, rng);
+  return inner <= bound_ ? inner : bound_;
+}
+
+EmpiricalResponse::EmpiricalResponse(std::vector<Duration> samples,
+                                     double drop_probability)
+    : samples_(std::move(samples)), drop_probability_(drop_probability) {
+  if (samples_.empty()) {
+    throw std::invalid_argument("EmpiricalResponse: no samples");
+  }
+  if (drop_probability < 0.0 || drop_probability > 1.0) {
+    throw std::invalid_argument("EmpiricalResponse: bad drop probability");
+  }
+}
+
+Duration EmpiricalResponse::sample(const Request&, Rng& rng) {
+  if (drop_probability_ > 0.0 && rng.bernoulli(drop_probability_)) return kNoResponse;
+  const auto idx = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(samples_.size()) - 1));
+  return samples_[idx];
+}
+
+}  // namespace rt::server

@@ -1,0 +1,112 @@
+#pragma once
+// Response-time models for the timing-unreliable component.
+//
+// The paper's server is a GPU box behind local wireless -- fast on average,
+// but with no useful worst-case bound. Everything the offloading mechanism
+// sees of it is the response time of each request (or the absence of a
+// response), so the whole substrate is abstracted as a ResponseModel. A
+// request sent at `send_time` either completes after the returned duration
+// or never (kNoResponse), in which case the client's compensation timer is
+// the only thing that saves the deadline.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace rt::server {
+
+/// Sentinel for "the result never comes back".
+inline constexpr Duration kNoResponse = Duration::max();
+
+/// A single offload request as seen by the server substrate.
+struct Request {
+  TimePoint send_time;          ///< when the client hands data to the radio
+  Duration compute_time;        ///< pure kernel time on one executor
+  std::size_t payload_bytes = 0;  ///< uplink payload (result assumed small)
+  /// Opaque source stream (the simulator sets the task index): lets models
+  /// with per-stream distributions tell requesters apart.
+  std::size_t stream_id = 0;
+};
+
+/// Interface: maps a request to the total response time experienced by the
+/// client (uplink + queueing + compute + downlink), or kNoResponse.
+///
+/// Stateful implementations (the queueing server) require non-decreasing
+/// send_time across calls, which a discrete-event simulation provides
+/// naturally; stateless ones ignore it.
+class ResponseModel {
+ public:
+  virtual ~ResponseModel() = default;
+  virtual Duration sample(const Request& req, Rng& rng) = 0;
+  /// Forget accumulated state (queue backlog); no-op for stateless models.
+  virtual void reset() {}
+};
+
+/// Deterministic response; the unit-test workhorse.
+class FixedResponse final : public ResponseModel {
+ public:
+  explicit FixedResponse(Duration response) : response_(response) {}
+  Duration sample(const Request&, Rng&) override { return response_; }
+
+ private:
+  Duration response_;
+};
+
+/// Never responds: models a dead link / server.
+class NeverResponds final : public ResponseModel {
+ public:
+  Duration sample(const Request&, Rng&) override { return kNoResponse; }
+};
+
+/// Shifted log-normal: shift + LogN(mu, sigma) milliseconds, with an
+/// independent drop probability. A standard heavy-tailed stand-in for
+/// measured network+GPU response times.
+class ShiftedLognormalResponse final : public ResponseModel {
+ public:
+  ShiftedLognormalResponse(Duration shift, double mu_log_ms, double sigma_log,
+                           double drop_probability = 0.0);
+  Duration sample(const Request& req, Rng& rng) override;
+
+ private:
+  Duration shift_;
+  double mu_;
+  double sigma_;
+  double drop_probability_;
+};
+
+/// Wraps another model and enforces a hard response upper bound B: anything
+/// later than B (including drops) is delivered at exactly B. Models a
+/// component with a pessimistic but trusted worst case -- e.g. a local
+/// accelerator behind a real-time bus -- enabling the paper's C_{i,3}
+/// extension (Section 3).
+class BoundedResponse final : public ResponseModel {
+ public:
+  BoundedResponse(std::unique_ptr<ResponseModel> inner, Duration bound);
+
+  Duration sample(const Request& req, Rng& rng) override;
+  void reset() override { inner_->reset(); }
+
+  [[nodiscard]] Duration bound() const { return bound_; }
+
+ private:
+  std::unique_ptr<ResponseModel> inner_;
+  Duration bound_;
+};
+
+/// Draws uniformly from a bag of measured samples (bootstrap), with an
+/// optional drop probability.
+class EmpiricalResponse final : public ResponseModel {
+ public:
+  explicit EmpiricalResponse(std::vector<Duration> samples,
+                             double drop_probability = 0.0);
+  Duration sample(const Request& req, Rng& rng) override;
+
+ private:
+  std::vector<Duration> samples_;
+  double drop_probability_;
+};
+
+}  // namespace rt::server

@@ -1,0 +1,39 @@
+#include "server/routing.hpp"
+
+#include <stdexcept>
+
+namespace rt::server {
+
+RoutingResponse::RoutingResponse(std::vector<std::unique_ptr<ResponseModel>> routes,
+                                 std::vector<std::size_t> route_of_stream)
+    : routes_(std::move(routes)), route_of_stream_(std::move(route_of_stream)) {
+  if (routes_.empty()) {
+    throw std::invalid_argument("RoutingResponse: no routes");
+  }
+  if (route_of_stream_.empty()) {
+    throw std::invalid_argument("RoutingResponse: empty stream mapping");
+  }
+  for (const auto& r : routes_) {
+    if (r == nullptr) throw std::invalid_argument("RoutingResponse: null route");
+  }
+  for (const std::size_t idx : route_of_stream_) {
+    if (idx >= routes_.size()) {
+      throw std::invalid_argument("RoutingResponse: mapping entry out of range");
+    }
+  }
+}
+
+std::size_t RoutingResponse::route_for(std::size_t stream) const {
+  return stream < route_of_stream_.size() ? route_of_stream_[stream]
+                                          : route_of_stream_.back();
+}
+
+Duration RoutingResponse::sample(const Request& req, Rng& rng) {
+  return routes_[route_for(req.stream_id)]->sample(req, rng);
+}
+
+void RoutingResponse::reset() {
+  for (auto& r : routes_) r->reset();
+}
+
+}  // namespace rt::server

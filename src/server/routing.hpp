@@ -1,0 +1,38 @@
+#pragma once
+// Multi-component routing: several timing-unreliable components in one
+// system (e.g. a local GPU plus a remote box), with a per-task assignment.
+//
+// The paper abstracts "the server" as a single component; nothing in the
+// mechanism requires that, so this wrapper routes each request by its
+// stream id (the simulator sets stream_id = task index) to one of several
+// inner response models.
+
+#include <memory>
+#include <vector>
+
+#include "server/response_model.hpp"
+
+namespace rt::server {
+
+class RoutingResponse final : public ResponseModel {
+ public:
+  /// `routes` owns the component models; `route_of_stream[s]` picks the
+  /// component for stream s. Streams beyond the mapping use
+  /// `route_of_stream.back()` (convenient when tasks share one default
+  /// component). Throws when routes is empty, the mapping is empty, or a
+  /// mapping entry is out of range.
+  RoutingResponse(std::vector<std::unique_ptr<ResponseModel>> routes,
+                  std::vector<std::size_t> route_of_stream);
+
+  Duration sample(const Request& req, Rng& rng) override;
+  void reset() override;
+
+  [[nodiscard]] std::size_t num_routes() const { return routes_.size(); }
+  [[nodiscard]] std::size_t route_for(std::size_t stream) const;
+
+ private:
+  std::vector<std::unique_ptr<ResponseModel>> routes_;
+  std::vector<std::size_t> route_of_stream_;
+};
+
+}  // namespace rt::server

@@ -1,0 +1,33 @@
+#include "sim/benefit_response.hpp"
+
+#include <stdexcept>
+
+namespace rt::sim {
+
+BenefitDrivenResponse::BenefitDrivenResponse(
+    std::vector<core::BenefitFunction> per_stream)
+    : per_stream_(std::move(per_stream)) {
+  if (per_stream_.empty()) {
+    throw std::invalid_argument("BenefitDrivenResponse: no streams");
+  }
+  for (const auto& g : per_stream_) {
+    if (g.max_value() > 1.0 + 1e-12) {
+      throw std::invalid_argument(
+          "BenefitDrivenResponse: benefit values must be probabilities");
+    }
+  }
+}
+
+Duration BenefitDrivenResponse::sample(const server::Request& req, Rng& rng) {
+  if (req.stream_id >= per_stream_.size()) {
+    throw std::out_of_range("BenefitDrivenResponse: unknown stream");
+  }
+  const core::BenefitFunction& g = per_stream_[req.stream_id];
+  const double u = rng.uniform();
+  for (std::size_t j = 1; j < g.size(); ++j) {
+    if (g.point(j).value >= u) return g.point(j).response_time;
+  }
+  return server::kNoResponse;
+}
+
+}  // namespace rt::sim

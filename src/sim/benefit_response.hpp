@@ -1,0 +1,33 @@
+#pragma once
+// A response model driven by per-task benefit functions.
+//
+// In the Figure 3 simulation the benefit G_i(r) *is* the probability that
+// the server answers task tau_i within r. This model samples responses from
+// exactly that distribution (per request stream), so the simulated count of
+// timely results converges to the analytic expectation sum_i G_i(R_i).
+
+#include <vector>
+
+#include "core/benefit.hpp"
+#include "server/response_model.hpp"
+
+namespace rt::sim {
+
+/// Inverse-CDF sampler over the true benefit functions: for a uniform draw
+/// u, the response is the smallest breakpoint r_j with G(r_j) >= u, or
+/// kNoResponse when u exceeds the maximum probability (the tail where the
+/// server never answers in any acceptable time).
+///
+/// Requires benefit values in [0, 1] (probabilities); the request's
+/// stream_id selects the function.
+class BenefitDrivenResponse final : public server::ResponseModel {
+ public:
+  explicit BenefitDrivenResponse(std::vector<core::BenefitFunction> per_stream);
+
+  Duration sample(const server::Request& req, Rng& rng) override;
+
+ private:
+  std::vector<core::BenefitFunction> per_stream_;
+};
+
+}  // namespace rt::sim

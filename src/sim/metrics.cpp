@@ -1,0 +1,54 @@
+#include "sim/metrics.hpp"
+
+#include <sstream>
+
+namespace rt::sim {
+
+namespace {
+template <typename F>
+std::uint64_t sum_over(const std::vector<TaskMetrics>& per_task, F field) {
+  std::uint64_t total = 0;
+  for (const auto& m : per_task) total += field(m);
+  return total;
+}
+}  // namespace
+
+std::uint64_t SimMetrics::total_released() const {
+  return sum_over(per_task, [](const TaskMetrics& m) { return m.released; });
+}
+std::uint64_t SimMetrics::total_completed() const {
+  return sum_over(per_task, [](const TaskMetrics& m) { return m.completed; });
+}
+std::uint64_t SimMetrics::total_deadline_misses() const {
+  return sum_over(per_task, [](const TaskMetrics& m) { return m.deadline_misses; });
+}
+std::uint64_t SimMetrics::total_compensations() const {
+  return sum_over(per_task, [](const TaskMetrics& m) { return m.compensations; });
+}
+std::uint64_t SimMetrics::total_timely_results() const {
+  return sum_over(per_task, [](const TaskMetrics& m) { return m.timely_results; });
+}
+
+double SimMetrics::total_benefit() const {
+  double total = 0.0;
+  for (const auto& m : per_task) total += m.accrued_benefit;
+  return total;
+}
+
+double SimMetrics::cpu_utilization() const {
+  if (end_time.ns() <= 0) return 0.0;
+  return static_cast<double>(cpu_busy_ns) / static_cast<double>(end_time.ns());
+}
+
+std::string SimMetrics::summary() const {
+  std::ostringstream oss;
+  oss << "released=" << total_released() << " completed=" << total_completed()
+      << " misses=" << total_deadline_misses()
+      << " timely=" << total_timely_results()
+      << " compensations=" << total_compensations()
+      << " benefit=" << total_benefit()
+      << " cpu=" << cpu_utilization();
+  return oss.str();
+}
+
+}  // namespace rt::sim

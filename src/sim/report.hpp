@@ -1,0 +1,21 @@
+#pragma once
+// Human-readable reports over simulation metrics (shared by examples and
+// tools so every binary prints the same shape of table).
+
+#include "core/decision.hpp"
+#include "core/task.hpp"
+#include "sim/metrics.hpp"
+#include "util/table.hpp"
+
+namespace rt::sim {
+
+/// Per-task table: jobs, timely/compensated/missed counts, response stats,
+/// accrued benefit. Decisions are optional (pass {} to omit the column).
+Table per_task_report(const core::TaskSet& tasks, const SimMetrics& metrics,
+                      const core::DecisionVector& decisions = {});
+
+/// One-line roll-up, e.g. for logs:
+/// "jobs=300 timely=120 comp=30 misses=0 benefit=345.0 cpu=49.6%".
+std::string one_line_summary(const SimMetrics& metrics);
+
+}  // namespace rt::sim

@@ -1,0 +1,47 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace rt::sim {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kRelease: return "release";
+    case TraceKind::kDispatch: return "dispatch";
+    case TraceKind::kPreempt: return "preempt";
+    case TraceKind::kSetupDone: return "setup-done";
+    case TraceKind::kResultTimely: return "result-timely";
+    case TraceKind::kResultLate: return "result-late";
+    case TraceKind::kTimerFired: return "timer-fired";
+    case TraceKind::kJobComplete: return "job-complete";
+    case TraceKind::kDeadlineMiss: return "deadline-miss";
+  }
+  return "unknown";
+}
+
+std::string TraceEvent::to_string() const {
+  std::ostringstream oss;
+  oss << "[" << time.to_string() << "] task=" << task << " job=" << job << " "
+      << sim::to_string(kind);
+  return oss.str();
+}
+
+void Trace::record(TimePoint time, TraceKind kind, std::size_t task,
+                   std::uint64_t job) {
+  if (capacity_ == 0) return;
+  if (events_.size() >= capacity_) {
+    truncated_ = true;
+    return;
+  }
+  events_.push_back(TraceEvent{time, kind, task, job});
+}
+
+std::vector<TraceEvent> Trace::filter(TraceKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace rt::sim

@@ -1,0 +1,54 @@
+#pragma once
+// Optional event trace of a simulation run (bounded, for tests/debugging).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace rt::sim {
+
+enum class TraceKind {
+  kRelease,
+  kDispatch,        ///< sub-job starts/resumes on the CPU
+  kPreempt,
+  kSetupDone,       ///< offload request sent
+  kResultTimely,    ///< server result inside the R window
+  kResultLate,      ///< server result after the timer (discarded)
+  kTimerFired,      ///< compensation started
+  kJobComplete,
+  kDeadlineMiss,
+};
+
+const char* to_string(TraceKind kind);
+
+struct TraceEvent {
+  TimePoint time;
+  TraceKind kind;
+  std::size_t task = 0;
+  std::uint64_t job = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void record(TimePoint time, TraceKind kind, std::size_t task, std::uint64_t job);
+
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+  [[nodiscard]] bool truncated() const { return truncated_; }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Events of one kind, in order.
+  [[nodiscard]] std::vector<TraceEvent> filter(TraceKind kind) const;
+
+ private:
+  std::size_t capacity_;
+  bool truncated_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace rt::sim

@@ -1,0 +1,401 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rt {
+
+Json::Type Json::type() const {
+  switch (value_.index()) {
+    case 0: return Type::kNull;
+    case 1: return Type::kBool;
+    case 2: return Type::kNumber;
+    case 3: return Type::kString;
+    case 4: return Type::kArray;
+    default: return Type::kObject;
+  }
+}
+
+namespace {
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+  static const char* names[] = {"null", "bool", "number", "string", "array",
+                                "object"};
+  throw JsonTypeError(std::string("Json: expected ") + want + ", got " +
+                      names[static_cast<int>(got)]);
+}
+}  // namespace
+
+bool Json::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&value_)) return *b;
+  type_error("bool", type());
+}
+
+double Json::as_number() const {
+  if (const double* n = std::get_if<double>(&value_)) return *n;
+  type_error("number", type());
+}
+
+const std::string& Json::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&value_)) return *s;
+  type_error("string", type());
+}
+
+const Json::Array& Json::as_array() const {
+  if (const Array* a = std::get_if<Array>(&value_)) return *a;
+  type_error("array", type());
+}
+
+const Json::Object& Json::as_object() const {
+  if (const Object* o = std::get_if<Object>(&value_)) return *o;
+  type_error("object", type());
+}
+
+Json::Array& Json::as_array() {
+  if (Array* a = std::get_if<Array>(&value_)) return *a;
+  type_error("array", type());
+}
+
+Json::Object& Json::as_object() {
+  if (Object* o = std::get_if<Object>(&value_)) return *o;
+  type_error("object", type());
+}
+
+bool Json::contains(const std::string& key) const {
+  return as_object().count(key) > 0;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Object& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw JsonTypeError("Json: missing key '" + key + "'");
+  return it->second;
+}
+
+double Json::number_or(const std::string& key, double fallback) const {
+  return contains(key) ? at(key).as_number() : fallback;
+}
+
+std::string Json::string_or(const std::string& key, std::string fallback) const {
+  return contains(key) ? at(key).as_string() : std::move(fallback);
+}
+
+bool Json::bool_or(const std::string& key, bool fallback) const {
+  return contains(key) ? at(key).as_bool() : fallback;
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  Json parse_document() {
+    skip_ws();
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonParseError(what, pos_);
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  char next() {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void expect(char c) {
+    if (eof() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') ++pos_;
+      else break;
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    if (++depth_ > max_depth_) fail("nesting too deep");
+    skip_ws();
+    if (eof()) fail("unexpected end of input");
+    Json out;
+    switch (peek()) {
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        out = Json(nullptr);
+        break;
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        out = Json(true);
+        break;
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        out = Json(false);
+        break;
+      case '"':
+        out = Json(parse_string());
+        break;
+      case '[':
+        out = parse_array();
+        break;
+      case '{':
+        out = parse_object();
+        break;
+      default:
+        out = parse_number();
+        break;
+    }
+    --depth_;
+    return out;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("unescaped control character");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape");
+    }
+    // UTF-8 encode (BMP only; surrogate pairs unsupported -> error).
+    if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate pairs not supported");
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("invalid number");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(v)) fail("invalid number");
+    return Json(v);
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json::Array arr;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (eof()) fail("unterminated array");
+      const char c = next();
+      if (c == ']') return Json(std::move(arr));
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json::Object obj;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[std::move(key)] = parse_value();
+      skip_ws();
+      if (eof()) fail("unterminated object");
+      const char c = next();
+      if (c == '}') return Json(std::move(obj));
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+  std::size_t max_depth_;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(double v, std::string& out) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::fabs(v) < 9.0e15) {
+    out += std::to_string(static_cast<std::int64_t>(v));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void dump_value(const Json& v, int indent, int depth, std::string& out);
+
+void newline_indent(int indent, int depth, std::string& out) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+}
+
+void dump_value(const Json& v, int indent, int depth, std::string& out) {
+  switch (v.type()) {
+    case Json::Type::kNull: out += "null"; return;
+    case Json::Type::kBool: out += v.as_bool() ? "true" : "false"; return;
+    case Json::Type::kNumber: dump_number(v.as_number(), out); return;
+    case Json::Type::kString: dump_string(v.as_string(), out); return;
+    case Json::Type::kArray: {
+      const auto& arr = v.as_array();
+      if (arr.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (i) out += ',';
+        newline_indent(indent, depth + 1, out);
+        dump_value(arr[i], indent, depth + 1, out);
+      }
+      newline_indent(indent, depth, out);
+      out += ']';
+      return;
+    }
+    case Json::Type::kObject: {
+      const auto& obj = v.as_object();
+      if (obj.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : obj) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(indent, depth + 1, out);
+        dump_string(key, out);
+        out += indent < 0 ? ":" : ": ";
+        dump_value(value, indent, depth + 1, out);
+      }
+      newline_indent(indent, depth, out);
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Json Json::parse(std::string_view text, std::size_t max_depth) {
+  Parser parser(text, max_depth);
+  return parser.parse_document();
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_value(*this, indent, 0, out);
+  return out;
+}
+
+}  // namespace rt

@@ -1,0 +1,94 @@
+#pragma once
+// Minimal JSON value + parser + serializer.
+//
+// Used by the task-set serialization layer and the CLI tool. Self-contained
+// (the build has no third-party JSON dependency offline): recursive-descent
+// parser with position-annotated errors, nesting-depth limit, \uXXXX basic
+// multilingual plane escapes, and stable (sorted-key) output.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace rt {
+
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " (at byte " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Thrown by typed accessors on kind mismatch or missing keys.
+class JsonTypeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}           // NOLINT
+  Json(bool b) : value_(b) {}                         // NOLINT
+  Json(double n) : value_(n) {}                       // NOLINT
+  Json(int n) : value_(static_cast<double>(n)) {}     // NOLINT
+  Json(std::int64_t n) : value_(static_cast<double>(n)) {}  // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}     // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}       // NOLINT
+  Json(Array a) : value_(std::move(a)) {}             // NOLINT
+  Json(Object o) : value_(std::move(o)) {}            // NOLINT
+
+  [[nodiscard]] Type type() const;
+  [[nodiscard]] bool is_null() const { return type() == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type() == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type() == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type() == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type() == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type() == Type::kObject; }
+
+  /// Typed accessors; throw JsonTypeError on mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] Object& as_object();
+
+  /// Object field access; `at` throws JsonTypeError when missing.
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  /// Number field with default when absent (still throws on wrong type).
+  [[nodiscard]] double number_or(const std::string& key, double fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      std::string fallback) const;
+  [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const;
+
+  /// Parses a complete JSON document (trailing garbage is an error).
+  static Json parse(std::string_view text, std::size_t max_depth = 256);
+
+  /// Serializes; indent < 0 means compact, otherwise pretty with that many
+  /// spaces per level. Numbers use shortest round-trip formatting.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  bool operator==(const Json& o) const = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+}  // namespace rt

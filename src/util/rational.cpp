@@ -1,0 +1,98 @@
+#include "util/rational.hpp"
+
+#include <limits>
+#include <numeric>
+
+namespace rt {
+
+namespace {
+
+__int128 gcd128(__int128 a, __int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+constexpr __int128 kI64Max = std::numeric_limits<std::int64_t>::max();
+constexpr __int128 kI64Min = std::numeric_limits<std::int64_t>::min();
+
+}  // namespace
+
+Rational Rational::from_i128(__int128 num, __int128 den) {
+  if (den == 0) throw std::domain_error("Rational: zero denominator");
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  if (num == 0) den = 1;
+  const __int128 g = gcd128(num, den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+  if (num > kI64Max || num < kI64Min || den > kI64Max) {
+    throw RationalOverflow("Rational: value exceeds int64 after reduction");
+  }
+  Rational r;
+  r.num_ = static_cast<std::int64_t>(num);
+  r.den_ = static_cast<std::int64_t>(den);
+  return r;
+}
+
+Rational::Rational(std::int64_t num, std::int64_t den) {
+  *this = from_i128(num, den);
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  return from_i128(static_cast<__int128>(num_) * o.den_ +
+                       static_cast<__int128>(o.num_) * den_,
+                   static_cast<__int128>(den_) * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return from_i128(static_cast<__int128>(num_) * o.den_ -
+                       static_cast<__int128>(o.num_) * den_,
+                   static_cast<__int128>(den_) * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return from_i128(static_cast<__int128>(num_) * o.num_,
+                   static_cast<__int128>(den_) * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  if (o.num_ == 0) throw std::domain_error("Rational: division by zero");
+  return from_i128(static_cast<__int128>(num_) * o.den_,
+                   static_cast<__int128>(den_) * o.num_);
+}
+
+Rational Rational::operator-() const { return from_i128(-static_cast<__int128>(num_), den_); }
+
+std::strong_ordering Rational::operator<=>(const Rational& o) const {
+  const __int128 lhs = static_cast<__int128>(num_) * o.den_;
+  const __int128 rhs = static_cast<__int128>(o.num_) * den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+Rational Rational::inverse() const {
+  if (num_ == 0) throw std::domain_error("Rational: inverse of zero");
+  return from_i128(den_, num_);
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+}  // namespace rt

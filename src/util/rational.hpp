@@ -1,0 +1,73 @@
+#pragma once
+// Exact rational arithmetic for schedulability tests.
+//
+// Theorem 3 of the paper sums terms (C_{i,1}+C_{i,2})/(D_i-R_i) and C_i/T_i
+// and compares against 1. Evaluating these in floating point can flip a
+// feasibility decision right at the boundary; this Rational keeps the test
+// exact. Numerator/denominator are int64, all intermediates run through
+// __int128, and overflow past int64 after normalization throws.
+
+#include <cstdint>
+#include <compare>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace rt {
+
+/// Thrown when a rational operation overflows int64 even after reduction.
+class RationalOverflow : public std::overflow_error {
+ public:
+  using std::overflow_error::overflow_error;
+};
+
+class Rational {
+ public:
+  constexpr Rational() = default;
+  /// Implicit from integer: allows `r <= 1` style comparisons.
+  constexpr Rational(std::int64_t value) : num_(value), den_(1) {}  // NOLINT
+  /// num/den, normalized (gcd reduced, denominator positive).
+  Rational(std::int64_t num, std::int64_t den);
+
+  [[nodiscard]] constexpr std::int64_t num() const { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const { return den_; }
+
+  [[nodiscard]] double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  [[nodiscard]] bool is_zero() const { return num_ == 0; }
+  [[nodiscard]] bool is_negative() const { return num_ < 0; }
+  [[nodiscard]] bool is_positive() const { return num_ > 0; }
+
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+  Rational operator-() const;
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  std::strong_ordering operator<=>(const Rational& o) const;
+
+  /// Reciprocal; throws std::domain_error on zero.
+  [[nodiscard]] Rational inverse() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  // Builds from int128 numerator/denominator, reducing and range-checking.
+  static Rational from_i128(__int128 num, __int128 den);
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace rt

@@ -1,0 +1,65 @@
+#pragma once
+// Streaming and batch statistics used by the estimator and the benches.
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace rt {
+
+/// Numerically stable streaming accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another accumulator (parallel Welford).
+  void merge(const RunningStats& o);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile with linear interpolation between closest ranks
+/// (the "exclusive" definition used by numpy's default).
+/// `p` in [0, 100]. The input is copied and sorted; throws on empty input.
+double percentile(std::vector<double> samples, double p);
+
+/// Empirical CDF value: fraction of samples <= x. Throws on empty input.
+double empirical_cdf(const std::vector<double>& samples, double x);
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+/// first/last bin so mass is never lost.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace rt

@@ -1,0 +1,31 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rt {
+
+namespace {
+std::string format_ns(std::int64_t ns) {
+  char buf[64];
+  const double a = std::abs(static_cast<double>(ns));
+  if (a >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns) / 1e9);
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(ns) / 1e6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+}  // namespace
+
+std::string Duration::to_string() const { return format_ns(ns_); }
+std::string TimePoint::to_string() const { return format_ns(ns_); }
+
+std::ostream& operator<<(std::ostream& os, Duration d) { return os << d.to_string(); }
+std::ostream& operator<<(std::ostream& os, TimePoint t) { return os << t.to_string(); }
+
+}  // namespace rt

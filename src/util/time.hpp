@@ -1,0 +1,129 @@
+#pragma once
+// Strong integral time types for the real-time engine.
+//
+// All scheduler and simulator arithmetic runs on int64 nanosecond ticks so
+// that deadline comparisons are exact: no floating-point time ever enters
+// the engine. Floats appear only at the presentation layer (milliseconds
+// printed in tables) and in benefit values.
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace rt {
+
+/// A span of time, in integer nanoseconds. Value type; may be negative
+/// (e.g. slack computations), but scheduler parameters validate positivity.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+  [[nodiscard]] static constexpr Duration nanoseconds(std::int64_t v) {
+    return Duration{v};
+  }
+  [[nodiscard]] static constexpr Duration microseconds(std::int64_t v) {
+    return Duration{v * 1'000};
+  }
+  [[nodiscard]] static constexpr Duration milliseconds(std::int64_t v) {
+    return Duration{v * 1'000'000};
+  }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t v) {
+    return Duration{v * 1'000'000'000};
+  }
+  /// Rounds to the nearest tick; convenient for measured/derived values.
+  [[nodiscard]] static Duration from_ms(double ms) {
+    return Duration{static_cast<std::int64_t>(ms * 1e6 + (ms >= 0 ? 0.5 : -0.5))};
+  }
+  [[nodiscard]] static Duration from_seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
+  [[nodiscard]] constexpr bool is_positive() const { return ns_ > 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  constexpr std::int64_t operator/(Duration o) const { return ns_ / o.ns_; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  constexpr Duration operator%(Duration o) const { return Duration{ns_ % o.ns_}; }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+  /// Duration scaled by a real factor, rounded to nearest tick.
+  [[nodiscard]] Duration scaled(double f) const {
+    const double v = static_cast<double>(ns_) * f;
+    return Duration{static_cast<std::int64_t>(v + (v >= 0 ? 0.5 : -0.5))};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+constexpr Duration operator*(std::int64_t k, Duration d) { return d * k; }
+
+/// An absolute instant on the simulated timeline (ticks since time 0).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] static constexpr TimePoint zero() { return TimePoint{0}; }
+  [[nodiscard]] static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.ns()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ns_ - d.ns()}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration{ns_ - o.ns_}; }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, TimePoint t);
+
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long v) {
+  return Duration::nanoseconds(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_us(unsigned long long v) {
+  return Duration::microseconds(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_ms(unsigned long long v) {
+  return Duration::milliseconds(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_s(unsigned long long v) {
+  return Duration::seconds(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace rt

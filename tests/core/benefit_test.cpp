@@ -1,0 +1,141 @@
+#include "core/benefit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rt::core {
+namespace {
+
+using namespace rt::literals;
+
+BenefitFunction table1_stereo() {
+  // Table 1, tau_1 (Stereo Vision).
+  return BenefitFunction({
+      {0_ms, 22.4897},
+      {Duration::from_ms(195.2814), 30.5918},
+      {Duration::from_ms(207.4508), 33.2853},
+      {Duration::from_ms(222.2878), 36.6047},
+      {Duration::from_ms(236.502), 99.0},
+  });
+}
+
+TEST(BenefitFunction, DefaultIsZeroLocal) {
+  BenefitFunction g;
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_DOUBLE_EQ(g.local_value(), 0.0);
+  EXPECT_DOUBLE_EQ(g.value_at(1_s), 0.0);
+}
+
+TEST(BenefitFunction, LocalOnlyFactory) {
+  const BenefitFunction g = BenefitFunction::local_only(22.5);
+  EXPECT_DOUBLE_EQ(g.local_value(), 22.5);
+  EXPECT_DOUBLE_EQ(g.max_value(), 22.5);
+}
+
+TEST(BenefitFunction, ValidationRules) {
+  // First point must be at r = 0.
+  EXPECT_THROW(BenefitFunction({{1_ms, 1.0}}), std::invalid_argument);
+  // Strictly increasing response times.
+  EXPECT_THROW(BenefitFunction({{0_ms, 1.0}, {5_ms, 2.0}, {5_ms, 3.0}}),
+               std::invalid_argument);
+  // Non-decreasing values.
+  EXPECT_THROW(BenefitFunction({{0_ms, 2.0}, {5_ms, 1.0}}), std::invalid_argument);
+  // Non-negative finite values.
+  EXPECT_THROW(BenefitFunction({{0_ms, -1.0}}), std::invalid_argument);
+  EXPECT_THROW(BenefitFunction(std::vector<BenefitPoint>{
+      {0_ms, std::nan("")}}),
+               std::invalid_argument);
+  // Empty set of points.
+  EXPECT_THROW(BenefitFunction(std::vector<BenefitPoint>{}), std::invalid_argument);
+  // Equal consecutive values are fine (non-decreasing).
+  EXPECT_NO_THROW(BenefitFunction({{0_ms, 1.0}, {5_ms, 1.0}}));
+}
+
+TEST(BenefitFunction, StepEvaluation) {
+  const BenefitFunction g = table1_stereo();
+  EXPECT_DOUBLE_EQ(g.value_at(0_ms), 22.4897);
+  EXPECT_DOUBLE_EQ(g.value_at(100_ms), 22.4897);           // before first step
+  EXPECT_DOUBLE_EQ(g.value_at(Duration::from_ms(195.2814)), 30.5918);  // inclusive
+  EXPECT_DOUBLE_EQ(g.value_at(200_ms), 30.5918);
+  EXPECT_DOUBLE_EQ(g.value_at(1_s), 99.0);
+  EXPECT_THROW((void)g.value_at(Duration(-1)), std::invalid_argument);
+}
+
+TEST(BenefitFunction, PointAccessors) {
+  const BenefitFunction g = table1_stereo();
+  EXPECT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g.point(4).value, 99.0);
+  EXPECT_DOUBLE_EQ(g.local_value(), 22.4897);
+  EXPECT_DOUBLE_EQ(g.max_value(), 99.0);
+  EXPECT_THROW((void)g.point(5), std::out_of_range);
+}
+
+TEST(BenefitFunction, ScaledResponseTimes) {
+  const BenefitFunction g = table1_stereo();
+  const BenefitFunction over = g.with_scaled_response_times(1.4);
+  const BenefitFunction under = g.with_scaled_response_times(0.6);
+  EXPECT_EQ(over.size(), g.size());
+  for (std::size_t j = 1; j < g.size(); ++j) {
+    EXPECT_EQ(over.point(j).response_time, g.point(j).response_time.scaled(1.4));
+    EXPECT_LT(under.point(j).response_time, g.point(j).response_time);
+    // Values never change: only the time axis is distorted.
+    EXPECT_DOUBLE_EQ(over.point(j).value, g.point(j).value);
+  }
+  // The r = 0 point is preserved exactly.
+  EXPECT_EQ(over.point(0).response_time, 0_ms);
+  EXPECT_THROW(g.with_scaled_response_times(0.0), std::invalid_argument);
+  EXPECT_THROW(g.with_scaled_response_times(-0.4), std::invalid_argument);
+}
+
+TEST(BenefitFunction, ScalingResolvesRoundingCollisions) {
+  const BenefitFunction g({{0_ms, 0.0}, {Duration(1), 0.1}, {Duration(2), 0.2}});
+  // A tiny factor collapses 1ns and 2ns; monotonicity must be repaired.
+  const BenefitFunction tiny = g.with_scaled_response_times(1e-3);
+  EXPECT_LT(tiny.point(1).response_time, tiny.point(2).response_time);
+  EXPECT_GT(tiny.point(1).response_time, 0_ms);
+}
+
+TEST(BenefitFunction, ToStringMentionsPoints) {
+  const std::string s = table1_stereo().to_string();
+  EXPECT_NE(s.find("22.4897"), std::string::npos);
+  EXPECT_NE(s.find("99"), std::string::npos);
+}
+
+TEST(MakeMonotoneBenefit, CleansNoisyMeasurements) {
+  // Unsorted, with an inversion (40ms worse than 20ms), a plateau, and a
+  // point below the local value: only genuinely improving points survive.
+  const BenefitFunction g = make_monotone_benefit(
+      2.0, {{40_ms, 4.0},
+            {20_ms, 5.0},
+            {60_ms, 5.0},   // plateau vs 20ms: dropped
+            {10_ms, 1.5},   // below local: dropped
+            {80_ms, 9.0}});
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_DOUBLE_EQ(g.local_value(), 2.0);
+  EXPECT_EQ(g.point(1).response_time, 20_ms);
+  EXPECT_DOUBLE_EQ(g.point(1).value, 5.0);
+  EXPECT_EQ(g.point(2).response_time, 80_ms);
+  EXPECT_DOUBLE_EQ(g.point(2).value, 9.0);
+}
+
+TEST(MakeMonotoneBenefit, EqualResponseTimesKeepBest) {
+  const BenefitFunction g =
+      make_monotone_benefit(0.0, {{20_ms, 3.0}, {20_ms, 7.0}});
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_DOUBLE_EQ(g.point(1).value, 7.0);
+}
+
+TEST(MakeMonotoneBenefit, ZeroResponsePointsBelongToLocal) {
+  const BenefitFunction g = make_monotone_benefit(1.0, {{0_ms, 99.0}});
+  EXPECT_EQ(g.size(), 1u);  // r = 0 is the local level's slot
+}
+
+TEST(MakeMonotoneBenefit, EmptyMeasurementsGiveLocalOnly) {
+  const BenefitFunction g = make_monotone_benefit(3.5, {});
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_DOUBLE_EQ(g.local_value(), 3.5);
+}
+
+}  // namespace
+}  // namespace rt::core

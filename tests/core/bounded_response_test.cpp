@@ -1,0 +1,177 @@
+// Tests for the C_{i,3} / bounded-response extension (paper Section 3):
+// when the component carries a trusted pessimistic upper bound B and the
+// estimated response time R is set >= B, only the post-processing C3 (not
+// the compensation C2) must be budgeted for the second phase.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/deadline.hpp"
+#include "core/odm.hpp"
+#include "core/schedulability.hpp"
+#include "server/response_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace rt::core {
+namespace {
+
+using namespace rt::literals;
+
+Task bounded_task(Duration bound) {
+  Task t = make_simple_task("b", 100_ms, 40_ms, 5_ms, 40_ms);
+  t.post_wcet = 4_ms;
+  t.response_upper_bound = bound;
+  t.benefit = BenefitFunction({{0_ms, 1.0}, {30_ms, 5.0}, {70_ms, 9.0}});
+  return t;
+}
+
+TEST(SecondPhaseBudget, SwitchesAtTheBound) {
+  const Task t = bounded_task(60_ms);
+  // Below the bound: the compensation must be reserved.
+  EXPECT_EQ(t.second_phase_budget(1, 30_ms), 40_ms);
+  // At/above the bound: results are guaranteed, only post-processing.
+  EXPECT_EQ(t.second_phase_budget(2, 60_ms), 4_ms);
+  EXPECT_EQ(t.second_phase_budget(2, 70_ms), 4_ms);
+}
+
+TEST(SecondPhaseBudget, AbsentBoundAlwaysCompensates) {
+  Task t = bounded_task(60_ms);
+  t.response_upper_bound.reset();
+  EXPECT_EQ(t.second_phase_budget(2, 70_ms), 40_ms);
+}
+
+TEST(SecondPhaseBudget, ValidationRejectsNonPositiveBound) {
+  Task t = bounded_task(60_ms);
+  t.response_upper_bound = Duration::zero();
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(BoundedDensity, LargeRBecomesCheapWithABound) {
+  const Task t = bounded_task(60_ms);
+  // R=70 >= B=60: weight (5 + 4) / 30 = 0.3 instead of (5 + 40)/30 = 1.5.
+  EXPECT_NEAR(offload_density(t, 70_ms, 2).to_double(), 0.3, 1e-12);
+  Task unbounded = t;
+  unbounded.response_upper_bound.reset();
+  EXPECT_TRUE(offload_density(unbounded, 70_ms, 2) > UtilFp::one());
+}
+
+TEST(BoundedSplit, DeadlineSplitUsesPostBudget) {
+  const Task t = bounded_task(60_ms);
+  // R=70: window 30ms, split C1=5 vs C3=4: D1 = 5*30/9 = 16.66ms.
+  const SplitDeadlines s = split_deadlines(t, 70_ms, 2);
+  EXPECT_EQ(s.d1.ns(), 5LL * 30'000'000 / 9);
+  EXPECT_EQ(s.d1 + s.d2, 30_ms);
+}
+
+TEST(BoundedOdm, PicksTheGuaranteedHighLevel) {
+  // Without the bound, level 2 (R=70) weighs 1.5 and is pruned; with it,
+  // the ODM can take the full benefit 9.
+  TaskSet tasks{bounded_task(60_ms)};
+  const OdmResult res = decide_offloading(tasks);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.decisions[0].level, 2u);
+  EXPECT_DOUBLE_EQ(res.claimed_objective, 9.0);
+
+  tasks[0].response_upper_bound.reset();
+  const OdmResult unbounded = decide_offloading(tasks);
+  EXPECT_EQ(unbounded.decisions[0].level, 1u);  // the 70ms level is pruned
+}
+
+TEST(BoundedSim, HonoredBoundNeverCompensatesNeverMisses) {
+  TaskSet tasks{bounded_task(60_ms)};
+  const OdmResult odm = decide_offloading(tasks);
+  ASSERT_EQ(odm.decisions[0].level, 2u);
+  // A jittery server clamped to the bound.
+  server::BoundedResponse srv(
+      std::make_unique<server::ShiftedLognormalResponse>(10_ms, std::log(30.0),
+                                                         0.8, 0.2),
+      60_ms);
+  sim::SimConfig cfg;
+  cfg.horizon = 10_s;
+  cfg.abort_on_deadline_miss = true;
+  const sim::SimResult res = sim::simulate(tasks, odm.decisions, srv, cfg);
+  EXPECT_EQ(res.metrics.total_deadline_misses(), 0u);
+  EXPECT_EQ(res.metrics.total_compensations(), 0u);
+  EXPECT_EQ(res.metrics.total_timely_results(),
+            res.metrics.per_task[0].offload_attempts);
+}
+
+TEST(BoundedSim, ViolatedBoundIsSurfacedAsMisses) {
+  // The analysis trusted B, the component lies (never responds): the
+  // compensation still fires, but only C3 was budgeted, so the simulator
+  // reports deadline misses instead of hiding the broken assumption.
+  TaskSet tasks{bounded_task(60_ms)};
+  // Make the violation consequential: a second task eats the slack.
+  Task filler = make_simple_task("filler", 100_ms, 55_ms, 1_ms, 55_ms);
+  filler.benefit = BenefitFunction::local_only(0.1);
+  tasks.push_back(filler);
+  const OdmResult odm = decide_offloading(tasks);
+  ASSERT_TRUE(odm.feasible);
+  ASSERT_TRUE(odm.decisions[0].offloaded());
+  server::NeverResponds liar;
+  sim::SimConfig cfg;
+  cfg.horizon = 10_s;
+  const sim::SimResult res = sim::simulate(tasks, odm.decisions, liar, cfg);
+  EXPECT_GT(res.metrics.total_compensations(), 0u);
+  EXPECT_GT(res.metrics.total_deadline_misses(), 0u);
+}
+
+TEST(BoundedOdm, OffersExtraItemsAtTheBound) {
+  // All breakpoints sit BELOW the bound; the only way to exploit it is the
+  // synthetic R = B item. Competition for the CPU makes the cheap C3
+  // reservation the winning move.
+  Task t = bounded_task(80_ms);  // breakpoints at 30ms and 70ms
+  TaskSet tasks{t};
+  Task filler = make_simple_task("filler", 100_ms, 60_ms, 1_ms, 60_ms);
+  filler.benefit = BenefitFunction::local_only(0.1);
+  tasks.push_back(filler);
+  // Without the bound: level 2 (r=70) weight (5+40)/30 = 1.5 (pruned),
+  // level 1 weight 45/70 = 0.64; with the filler's 0.6 that is over 1 ->
+  // the task would stay local. With R = B = 80: weight (5+4)/20 = 0.45,
+  // still too much? 0.45 + 0.6 = 1.05 -- no; but level 1 with R = 80 has
+  // the same 0.45 weight... both map to value of their level.
+  const OdmResult res = decide_offloading(tasks);
+  ASSERT_TRUE(res.feasible);
+  // Whatever the winning item, the decisions must verify and beat all-local.
+  const double all_local_value =
+      tasks[0].benefit.local_value() + 0.1;
+  EXPECT_GE(res.claimed_objective, all_local_value);
+  if (res.decisions[0].offloaded()) {
+    // The R granted may exceed every breakpoint only via the bound item.
+    EXPECT_LE(res.decisions[0].response_time, 80_ms);
+  }
+}
+
+TEST(BoundedOdm, BoundItemWinsWhenCompensationIsExpensive) {
+  // One task, no competition: without the bound the top level (r=70ms,
+  // benefit 9) costs (5+40)/30 = 1.5 > 1 and is pruned; with B = 75ms the
+  // ODM can grant R = 75 and reserve only C3: (5+4)/25 = 0.36.
+  Task t = bounded_task(75_ms);
+  const OdmResult res = decide_offloading({t});
+  ASSERT_TRUE(res.feasible);
+  ASSERT_TRUE(res.decisions[0].offloaded());
+  EXPECT_EQ(res.decisions[0].level, 2u);
+  EXPECT_EQ(res.decisions[0].response_time, 75_ms);  // the R = B item
+  EXPECT_DOUBLE_EQ(res.claimed_objective, 9.0);
+}
+
+TEST(BoundedResponseModel, ClampsAndValidates) {
+  Rng rng(1);
+  server::BoundedResponse model(std::make_unique<server::NeverResponds>(), 25_ms);
+  server::Request req;
+  EXPECT_EQ(model.sample(req, rng), 25_ms);
+  EXPECT_EQ(model.bound(), 25_ms);
+
+  server::BoundedResponse fast(std::make_unique<server::FixedResponse>(5_ms), 25_ms);
+  EXPECT_EQ(fast.sample(req, rng), 5_ms);
+
+  EXPECT_THROW(server::BoundedResponse(nullptr, 25_ms), std::invalid_argument);
+  EXPECT_THROW(server::BoundedResponse(
+                   std::make_unique<server::FixedResponse>(5_ms), Duration::zero()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rt::core

@@ -1,0 +1,119 @@
+// Brute-force validation of the exact demand bound function for offloaded
+// tasks (the two-critical-alignment construction in schedulability.cpp).
+//
+// Ground truth: a job with nominal release q contributes
+//   C1 with window [q, q + D1]                       (the setup sub-job)
+//   C2 with window [q + delta, q + D], delta in [0, D1 + R]
+//                                                     (post/compensation)
+// The demand of an interval (0, t] is the max over the window offset phi
+// and the per-job deltas of the work that must both arrive and complete
+// inside the interval. The adversary's only use for delta is rescuing the
+// C2 of a job released just before the window (q in [-(D1+R), 0)), so the
+// ground truth is computable by sweeping phi.
+//
+// We assert dbf_exact is (a) an upper bound for every phi and (b) tight:
+// some phi achieves it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/deadline.hpp"
+#include "core/schedulability.hpp"
+#include "util/rng.hpp"
+
+namespace rt::core {
+namespace {
+
+using namespace rt::literals;
+
+struct Params {
+  std::int64_t c1, c2, d1, period, deadline, response;
+};
+
+/// Concrete demand of (0, t] when the first nominal release at/after 0 is
+/// at phi (0 <= phi < period), with the boundary job's C2 rescued when
+/// possible.
+std::int64_t concrete_demand(const Params& p, std::int64_t t, std::int64_t phi) {
+  std::int64_t demand = 0;
+  // Boundary job: nominal release q = phi - period. Its C2 can be pushed
+  // into the window iff q + (D1 + R) >= 0; its deadline is q + D.
+  const std::int64_t q_boundary = phi - p.period;
+  if (q_boundary + p.d1 + p.response >= 0 && q_boundary + p.deadline <= t &&
+      q_boundary + p.deadline > 0) {
+    demand += p.c2;
+  }
+  // Jobs fully released inside the window.
+  for (std::int64_t q = phi; q <= t; q += p.period) {
+    if (q + p.d1 <= t) demand += p.c1;
+    if (q + p.deadline <= t) demand += p.c2;
+  }
+  return demand;
+}
+
+Params params_for(const Task& task, const Decision& d) {
+  const SplitDeadlines split = split_deadlines(task, d.response_time, d.level);
+  Params p;
+  p.c1 = task.setup_for_level(d.level).ns();
+  p.c2 = task.second_phase_budget(d.level, d.response_time).ns();
+  p.d1 = split.d1.ns();
+  p.period = task.period.ns();
+  p.deadline = task.deadline.ns();
+  p.response = d.response_time.ns();
+  return p;
+}
+
+/// Candidate phis: aligning each contribution's deadline with t, plus the
+/// boundary-rescue extreme, plus random fill.
+std::vector<std::int64_t> candidate_phis(const Params& p, std::int64_t t, Rng& rng) {
+  std::vector<std::int64_t> phis{0, p.period - p.d1 - p.response};
+  for (std::int64_t k = 0; k * p.period <= t; ++k) {
+    phis.push_back((t - p.d1 - k * p.period) % p.period);
+    phis.push_back((t - p.deadline - k * p.period) % p.period);
+    if (phis.size() > 300) break;
+  }
+  for (int i = 0; i < 50; ++i) phis.push_back(rng.uniform_int(0, p.period - 1));
+  for (auto& phi : phis) phi = ((phi % p.period) + p.period) % p.period;
+  std::sort(phis.begin(), phis.end());
+  phis.erase(std::unique(phis.begin(), phis.end()), phis.end());
+  return phis;
+}
+
+class DbfBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DbfBruteForce, ExactDbfIsTightUpperBoundOverAllAlignments) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 12; ++trial) {
+    // Random but well-formed offloaded task (ms-scale to keep sweeps fast).
+    Task task = make_simple_task(
+        "t", Duration::milliseconds(rng.uniform_int(40, 120)),
+        Duration::milliseconds(rng.uniform_int(5, 20)),
+        Duration::milliseconds(rng.uniform_int(1, 8)),
+        Duration::milliseconds(rng.uniform_int(5, 20)));
+    const Duration r = task.deadline.scaled(rng.uniform(0.1, 0.6));
+    task.benefit = BenefitFunction({{0_ms, 0.0}, {r, 1.0}});
+    const Decision d = Decision::offload(1, r);
+    const Params p = params_for(task, d);
+
+    for (int k = 0; k < 24; ++k) {
+      const std::int64_t t = rng.uniform_int(1, 4 * p.period);
+      const std::int64_t bound = dbf_exact(task, d, Duration(t));
+      std::int64_t best = 0;
+      Rng phi_rng(rng.next());
+      for (const std::int64_t phi : candidate_phis(p, t, phi_rng)) {
+        const std::int64_t demand = concrete_demand(p, t, phi);
+        EXPECT_LE(demand, bound)
+            << "phi=" << phi << " t=" << t << " (dbf not an upper bound)";
+        best = std::max(best, demand);
+      }
+      EXPECT_EQ(best, bound)
+          << "t=" << t << " (dbf not tight: no alignment achieves it)";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbfBruteForce,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace rt::core

@@ -1,0 +1,76 @@
+#include "core/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rt::core {
+namespace {
+
+using namespace rt::literals;
+
+Task offload_task(Duration period, Duration c1, Duration c2) {
+  Task t = make_simple_task("t", period, c2, c1, c2);
+  t.benefit = BenefitFunction({{0_ms, 0.0}, {period / 2, 1.0}});
+  return t;
+}
+
+TEST(SplitDeadlines, ProportionalToPhaseWcets) {
+  // D = 100, R = 40 => window 60; C1 = 10, C2 = 20 => D1 = 20, D2 = 40.
+  const Task t = offload_task(100_ms, 10_ms, 20_ms);
+  const SplitDeadlines s = split_deadlines(t, 40_ms, 1);
+  EXPECT_EQ(s.d1, 20_ms);
+  EXPECT_EQ(s.d2, 40_ms);
+  EXPECT_EQ(s.d1 + s.d2, t.deadline - 40_ms);
+}
+
+TEST(SplitDeadlines, PaperFormulaExactly) {
+  // D1 = C1 (D - R) / (C1 + C2) for several configurations.
+  const Task t = offload_task(700_ms, 7_ms, 13_ms);
+  const SplitDeadlines s = split_deadlines(t, 150_ms, 1);
+  EXPECT_EQ(s.d1.ns(), 7'000'000LL * (700 - 150) / 20);
+  EXPECT_EQ((s.d1 + s.d2), t.deadline - 150_ms);
+}
+
+TEST(SplitDeadlines, RoundsD1DownNeverUp) {
+  // C1 = C2 = 1 with odd window: D1 gets the smaller half.
+  Task t = offload_task(Duration(11), Duration(1), Duration(1));
+  t.local_wcet = Duration(1);
+  const SplitDeadlines s = split_deadlines(t, Duration(0), 1);
+  EXPECT_EQ(s.d1.ns(), 5);
+  EXPECT_EQ(s.d2.ns(), 6);
+}
+
+TEST(SplitDeadlines, ZeroResponseTimeUsesWholeDeadline) {
+  const Task t = offload_task(100_ms, 10_ms, 30_ms);
+  const SplitDeadlines s = split_deadlines(t, 0_ms, 1);
+  EXPECT_EQ(s.d1, 25_ms);
+  EXPECT_EQ(s.d2, 75_ms);
+}
+
+TEST(SplitDeadlines, InvalidResponseTimes) {
+  const Task t = offload_task(100_ms, 10_ms, 20_ms);
+  EXPECT_THROW(split_deadlines(t, 100_ms, 1), std::invalid_argument);  // R == D
+  EXPECT_THROW(split_deadlines(t, 150_ms, 1), std::invalid_argument);  // R > D
+  EXPECT_THROW(split_deadlines(t, Duration(-1), 1), std::invalid_argument);
+}
+
+TEST(SplitDeadlines, UsesPerLevelWcets) {
+  Task t = offload_task(100_ms, 10_ms, 20_ms);
+  t.benefit = BenefitFunction({{0_ms, 0.0}, {10_ms, 1.0}, {20_ms, 2.0}});
+  t.setup_wcet_per_level = {0_ms, 10_ms, 30_ms};
+  t.compensation_wcet_per_level = {0_ms, 20_ms, 30_ms};
+  const SplitDeadlines s1 = split_deadlines(t, 40_ms, 1);
+  EXPECT_EQ(s1.d1, 20_ms);  // 10/(10+20) * 60
+  const SplitDeadlines s2 = split_deadlines(t, 40_ms, 2);
+  EXPECT_EQ(s2.d1, 30_ms);  // 30/(30+30) * 60
+}
+
+TEST(NaiveDeadlines, KeepsFullDeadline) {
+  const Task t = offload_task(100_ms, 10_ms, 20_ms);
+  const SplitDeadlines s = naive_deadlines(t, 40_ms);
+  EXPECT_EQ(s.d1, 100_ms);
+  EXPECT_EQ(s.d2, 60_ms);
+  EXPECT_THROW(naive_deadlines(t, 100_ms), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rt::core

@@ -1,0 +1,45 @@
+#include "core/decision.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rt::core {
+namespace {
+
+using namespace rt::literals;
+
+TEST(Decision, LocalFactory) {
+  const Decision d = Decision::local(3.5);
+  EXPECT_FALSE(d.offloaded());
+  EXPECT_EQ(d.level, 0u);
+  EXPECT_EQ(d.response_time, Duration::zero());
+  EXPECT_DOUBLE_EQ(d.claimed_benefit, 3.5);
+}
+
+TEST(Decision, OffloadFactory) {
+  const Decision d = Decision::offload(2, 50_ms, 9.0);
+  EXPECT_TRUE(d.offloaded());
+  EXPECT_EQ(d.level, 2u);
+  EXPECT_EQ(d.response_time, 50_ms);
+  EXPECT_DOUBLE_EQ(d.claimed_benefit, 9.0);
+}
+
+TEST(Decision, ToStringDistinguishesKinds) {
+  EXPECT_NE(Decision::local(1.0).to_string().find("local"), std::string::npos);
+  const std::string s = Decision::offload(3, 75_ms, 2.0).to_string();
+  EXPECT_NE(s.find("offload"), std::string::npos);
+  EXPECT_NE(s.find("level=3"), std::string::npos);
+  EXPECT_NE(s.find("75"), std::string::npos);
+}
+
+TEST(AllLocal, ProducesLocalDecisions) {
+  const DecisionVector ds = all_local(5);
+  ASSERT_EQ(ds.size(), 5u);
+  for (const auto& d : ds) {
+    EXPECT_FALSE(d.offloaded());
+    EXPECT_DOUBLE_EQ(d.claimed_benefit, 0.0);
+  }
+  EXPECT_TRUE(all_local(0).empty());
+}
+
+}  // namespace
+}  // namespace rt::core

@@ -1,0 +1,123 @@
+#include "core/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/odm.hpp"
+
+namespace rt::core {
+namespace {
+
+using namespace rt::literals;
+
+const char* kSample = R"({
+  "tasks": [
+    {
+      "name": "camera",
+      "period_ms": 100,
+      "local_wcet_ms": 40,
+      "setup_wcet_ms": 4,
+      "benefit": [[0, 1.0], [20, 5.0], [50, 9.0]]
+    },
+    {
+      "name": "control",
+      "period_ms": 50,
+      "deadline_ms": 40,
+      "local_wcet_ms": 10,
+      "setup_wcet_ms": 1,
+      "compensation_wcet_ms": 10,
+      "post_wcet_ms": 0,
+      "weight": 2.5
+    }
+  ]
+})";
+
+TEST(TaskFromJson, ParsesFullSchema) {
+  const TaskSet tasks = task_set_from_json(Json::parse(kSample));
+  ASSERT_EQ(tasks.size(), 2u);
+
+  const Task& cam = tasks[0];
+  EXPECT_EQ(cam.name, "camera");
+  EXPECT_EQ(cam.period, 100_ms);
+  EXPECT_EQ(cam.deadline, 100_ms);  // defaulted to the period
+  EXPECT_EQ(cam.local_wcet, 40_ms);
+  EXPECT_EQ(cam.compensation_wcet, 40_ms);  // defaulted to C
+  EXPECT_EQ(cam.benefit.size(), 3u);
+  EXPECT_DOUBLE_EQ(cam.benefit.point(2).value, 9.0);
+  EXPECT_EQ(cam.benefit.point(2).response_time, 50_ms);
+
+  const Task& ctl = tasks[1];
+  EXPECT_EQ(ctl.deadline, 40_ms);
+  EXPECT_DOUBLE_EQ(ctl.weight, 2.5);
+  EXPECT_EQ(ctl.benefit.size(), 1u);  // default local-only benefit
+}
+
+TEST(TaskFromJson, OptionalBoundParsed) {
+  const Json j = Json::parse(R"({
+    "name": "b", "period_ms": 100, "local_wcet_ms": 10, "setup_wcet_ms": 1,
+    "post_wcet_ms": 2, "response_upper_bound_ms": 60
+  })");
+  const Task t = task_from_json(j);
+  ASSERT_TRUE(t.response_upper_bound.has_value());
+  EXPECT_EQ(*t.response_upper_bound, 60_ms);
+}
+
+TEST(TaskFromJson, PerLevelWcets) {
+  const Json j = Json::parse(R"({
+    "name": "v", "period_ms": 100, "local_wcet_ms": 10, "setup_wcet_ms": 1,
+    "benefit": [[0, 1.0], [20, 2.0]],
+    "setup_wcet_per_level_ms": [0, 3],
+    "compensation_wcet_per_level_ms": [0, 8]
+  })");
+  const Task t = task_from_json(j);
+  EXPECT_EQ(t.setup_for_level(1), 3_ms);
+  EXPECT_EQ(t.compensation_for_level(1), 8_ms);
+}
+
+TEST(TaskFromJson, ErrorsSurface) {
+  // Missing required field.
+  EXPECT_THROW(task_from_json(Json::parse(R"({"name": "x"})")), JsonTypeError);
+  // Malformed benefit entry.
+  EXPECT_THROW(task_from_json(Json::parse(R"({
+    "name": "x", "period_ms": 100, "local_wcet_ms": 10, "setup_wcet_ms": 1,
+    "benefit": [[0]]
+  })")),
+               std::invalid_argument);
+  // Validation still runs: WCET > deadline.
+  EXPECT_THROW(task_from_json(Json::parse(R"({
+    "name": "x", "period_ms": 10, "local_wcet_ms": 50, "setup_wcet_ms": 1
+  })")),
+               std::invalid_argument);
+}
+
+TEST(TaskSetJson, RoundTripsExactly) {
+  const TaskSet original = task_set_from_json(Json::parse(kSample));
+  const Json dumped = task_set_to_json(original);
+  const TaskSet reloaded = task_set_from_json(dumped);
+  ASSERT_EQ(reloaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reloaded[i].name, original[i].name);
+    EXPECT_EQ(reloaded[i].period, original[i].period);
+    EXPECT_EQ(reloaded[i].deadline, original[i].deadline);
+    EXPECT_EQ(reloaded[i].local_wcet, original[i].local_wcet);
+    EXPECT_EQ(reloaded[i].setup_wcet, original[i].setup_wcet);
+    EXPECT_EQ(reloaded[i].compensation_wcet, original[i].compensation_wcet);
+    EXPECT_EQ(reloaded[i].benefit, original[i].benefit);
+    EXPECT_DOUBLE_EQ(reloaded[i].weight, original[i].weight);
+  }
+}
+
+TEST(DecisionsJson, ReportsChoices) {
+  const TaskSet tasks = task_set_from_json(Json::parse(kSample));
+  const OdmResult odm = decide_offloading(tasks);
+  const Json report = decisions_to_json(tasks, odm.decisions);
+  const auto& arr = report.at("decisions").as_array();
+  ASSERT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr[0].at("task").as_string(), "camera");
+  EXPECT_TRUE(arr[0].at("offloaded").as_bool());
+  EXPECT_GT(arr[0].at("response_time_ms").as_number(), 0.0);
+  EXPECT_FALSE(arr[1].at("offloaded").as_bool());
+  EXPECT_THROW(decisions_to_json(tasks, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rt::core

@@ -1,0 +1,93 @@
+#include "core/task.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rt::core {
+namespace {
+
+using namespace rt::literals;
+
+Task valid_task() {
+  Task t = make_simple_task("t", 100_ms, 20_ms, 3_ms, 20_ms);
+  t.benefit = BenefitFunction({{0_ms, 1.0}, {30_ms, 5.0}});
+  return t;
+}
+
+TEST(Task, MakeSimpleTaskDefaults) {
+  const Task t = make_simple_task("x", 50_ms, 10_ms, 2_ms, 10_ms);
+  EXPECT_EQ(t.deadline, t.period);
+  EXPECT_EQ(t.post_wcet, Duration::zero());
+  EXPECT_DOUBLE_EQ(t.weight, 1.0);
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_DOUBLE_EQ(t.local_utilization(), 0.2);
+}
+
+TEST(Task, ValidationCatchesEveryDefect) {
+  Task t = valid_task();
+  t.period = Duration::zero();
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t = valid_task();
+  t.deadline = t.period + 1_ms;  // D > T
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t = valid_task();
+  t.local_wcet = Duration::zero();
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t = valid_task();
+  t.local_wcet = t.deadline + 1_ms;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t = valid_task();
+  t.post_wcet = t.compensation_wcet + 1_ms;  // violates C3 <= C2
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t = valid_task();
+  t.weight = 0.0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+
+  t = valid_task();
+  t.setup_wcet_per_level = {1_ms};  // arity mismatch with 2 benefit points
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(Task, ConstrainedDeadlineAccepted) {
+  Task t = valid_task();
+  t.deadline = 80_ms;
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Task, PerLevelWcetsFallBackToUniform) {
+  Task t = valid_task();
+  EXPECT_EQ(t.setup_for_level(1), 3_ms);
+  EXPECT_EQ(t.compensation_for_level(1), 20_ms);
+  t.setup_wcet_per_level = {0_ms, 5_ms};
+  t.compensation_wcet_per_level = {0_ms, 18_ms};
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_EQ(t.setup_for_level(1), 5_ms);
+  EXPECT_EQ(t.compensation_for_level(1), 18_ms);
+  EXPECT_THROW((void)t.setup_for_level(7), std::out_of_range);
+}
+
+TEST(TaskSet, DuplicateNamesRejected) {
+  TaskSet set{valid_task(), valid_task()};
+  EXPECT_THROW(validate_task_set(set), std::invalid_argument);
+  set[1].name = "other";
+  EXPECT_NO_THROW(validate_task_set(set));
+}
+
+TEST(TaskSet, ErrorMessagesNameTheTask) {
+  Task t = valid_task();
+  t.name = "edge-detection";
+  t.period = Duration::zero();
+  try {
+    t.validate();
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("edge-detection"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rt::core

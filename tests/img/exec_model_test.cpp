@@ -1,0 +1,52 @@
+#include "img/exec_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rt::img {
+namespace {
+
+TEST(ExecTimeModel, CalibratedToMotivationExample) {
+  // Paper Section 1: SIFT at 300x200 is ~278 ms on the CPU, ~7 ms on the GPU.
+  const ExecTimeModel model = ExecTimeModel::calibrated();
+  const std::size_t pixels = 300 * 200;
+  const auto cpu = model.local_exec(TaskKind::kObjectRecognition, pixels);
+  const auto gpu = model.gpu_exec(TaskKind::kObjectRecognition, pixels);
+  EXPECT_NEAR(cpu.ms(), 278.0, 5.0);
+  EXPECT_NEAR(gpu.ms(), 7.0, 1.0);
+  // The headline ratio: GPU is ~40x faster.
+  EXPECT_GT(cpu.ms() / gpu.ms(), 30.0);
+}
+
+TEST(ExecTimeModel, MonotoneInPixels) {
+  const ExecTimeModel model;
+  const auto small = model.local_exec(TaskKind::kEdgeDetection, 1'000);
+  const auto large = model.local_exec(TaskKind::kEdgeDetection, 100'000);
+  EXPECT_LT(small, large);
+  EXPECT_LT(model.setup_exec(1'000), model.setup_exec(50'000));
+}
+
+TEST(ExecTimeModel, FixedOverheadsApplyAtZeroPixels) {
+  const ExecTimeModel model;
+  EXPECT_EQ(model.local_exec(TaskKind::kMotionDetection, 0), model.cpu_fixed);
+  EXPECT_EQ(model.gpu_exec(TaskKind::kMotionDetection, 0), model.gpu_fixed);
+  EXPECT_EQ(model.setup_exec(0), model.setup_fixed);
+}
+
+TEST(TaskCostFactor, OrderingMatchesAlgorithmComplexity) {
+  EXPECT_GT(task_cost_factor(TaskKind::kStereoVision),
+            task_cost_factor(TaskKind::kObjectRecognition));
+  EXPECT_GT(task_cost_factor(TaskKind::kObjectRecognition),
+            task_cost_factor(TaskKind::kEdgeDetection));
+  EXPECT_GT(task_cost_factor(TaskKind::kEdgeDetection),
+            task_cost_factor(TaskKind::kMotionDetection));
+}
+
+TEST(TaskKindNames, MatchTable1Labels) {
+  EXPECT_STREQ(to_string(TaskKind::kStereoVision), "Stereo Vision");
+  EXPECT_STREQ(to_string(TaskKind::kEdgeDetection), "Edge Detection");
+  EXPECT_STREQ(to_string(TaskKind::kObjectRecognition), "Object recognition");
+  EXPECT_STREQ(to_string(TaskKind::kMotionDetection), "Motion Detection");
+}
+
+}  // namespace
+}  // namespace rt::img

@@ -1,0 +1,143 @@
+#include "img/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace rt::img {
+namespace {
+
+TEST(Image, ConstructionAndAccess) {
+  Image im(4, 3, 0.5f);
+  EXPECT_EQ(im.width(), 4);
+  EXPECT_EQ(im.height(), 3);
+  EXPECT_EQ(im.size(), 12u);
+  EXPECT_FLOAT_EQ(im.at(2, 1), 0.5f);
+  im.at(2, 1) = 0.9f;
+  EXPECT_FLOAT_EQ(im.at(2, 1), 0.9f);
+  EXPECT_THROW(Image(-1, 2), std::invalid_argument);
+}
+
+TEST(Image, DefaultIsEmpty) {
+  Image im;
+  EXPECT_TRUE(im.empty());
+  EXPECT_DOUBLE_EQ(im.mean(), 0.0);
+}
+
+TEST(Image, ClampedAccessAtBorders) {
+  Image im(2, 2);
+  im.at(0, 0) = 0.1f;
+  im.at(1, 1) = 0.8f;
+  EXPECT_FLOAT_EQ(im.at_clamped(-5, -5), 0.1f);
+  EXPECT_FLOAT_EQ(im.at_clamped(10, 10), 0.8f);
+}
+
+TEST(Image, BilinearSamplingInterpolates) {
+  Image im(2, 1);
+  im.at(0, 0) = 0.0f;
+  im.at(1, 0) = 1.0f;
+  EXPECT_FLOAT_EQ(im.sample_bilinear(0.5f, 0.0f), 0.5f);
+  EXPECT_FLOAT_EQ(im.sample_bilinear(0.25f, 0.0f), 0.25f);
+  EXPECT_FLOAT_EQ(im.sample_bilinear(0.0f, 0.0f), 0.0f);
+}
+
+TEST(Image, Clamp01) {
+  Image im(2, 1);
+  im.at(0, 0) = -0.5f;
+  im.at(1, 0) = 1.5f;
+  im.clamp01();
+  EXPECT_FLOAT_EQ(im.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(im.at(1, 0), 1.0f);
+}
+
+TEST(Image, MeanIsPixelAverage) {
+  Image im(2, 2);
+  im.at(0, 0) = 0.0f;
+  im.at(1, 0) = 1.0f;
+  im.at(0, 1) = 0.25f;
+  im.at(1, 1) = 0.75f;
+  EXPECT_DOUBLE_EQ(im.mean(), 0.5);
+}
+
+TEST(Image, SavePgmWritesHeaderAndPayload) {
+  Image im(3, 2, 1.0f);
+  const std::string path = "/tmp/rtoffload_test.pgm";
+  im.save_pgm(path);
+  std::ifstream in(path, std::ios::binary);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "P5");
+  std::remove(path.c_str());
+}
+
+TEST(MakeScene, DeterministicForSeed) {
+  const Image a = make_scene(64, 48, {.seed = 7});
+  const Image b = make_scene(64, 48, {.seed = 7});
+  EXPECT_EQ(a, b);
+  const Image c = make_scene(64, 48, {.seed = 8});
+  EXPECT_NE(a, c);
+}
+
+TEST(MakeScene, PixelsAreInRangeWithStructure) {
+  const Image im = make_scene(80, 60, {.seed = 3});
+  float lo = 1.0f, hi = 0.0f;
+  for (const float p : im.data()) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  EXPECT_GT(hi - lo, 0.3f);  // real contrast, not a flat field
+}
+
+TEST(MakeScene, RejectsBadDimensions) {
+  EXPECT_THROW(make_scene(0, 10), std::invalid_argument);
+  EXPECT_THROW(make_scene(10, -1), std::invalid_argument);
+}
+
+TEST(MakeStereoPair, FramesDifferByHorizontalShift) {
+  const StereoPair pair = make_stereo_pair(96, 64, 11, 8);
+  EXPECT_EQ(pair.left.width(), 96);
+  EXPECT_EQ(pair.max_disparity, 8);
+  EXPECT_NE(pair.left, pair.right);
+  // The two frames share the background statistics.
+  EXPECT_NEAR(pair.left.mean(), pair.right.mean(), 0.05);
+  EXPECT_THROW(make_stereo_pair(96, 64, 11, 0), std::invalid_argument);
+}
+
+TEST(MakeMotionPair, MovedObjectsProduceDifferences) {
+  const MotionPair pair = make_motion_pair(96, 64, 5, 3, 6);
+  EXPECT_EQ(pair.moved_objects, 3);
+  EXPECT_NE(pair.frame0, pair.frame1);
+  int changed = 0;
+  for (std::size_t i = 0; i < pair.frame0.size(); ++i) {
+    if (pair.frame0.data()[i] != pair.frame1.data()[i]) ++changed;
+  }
+  EXPECT_GT(changed, 50);
+}
+
+TEST(MakeMotionPair, ZeroMovedObjectsMeansIdenticalFrames) {
+  const MotionPair pair = make_motion_pair(64, 64, 5, 0, 6);
+  EXPECT_EQ(pair.moved_objects, 0);
+  EXPECT_EQ(pair.frame0, pair.frame1);
+}
+
+TEST(Crop, ExtractsAndClamps) {
+  Image im(10, 10);
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 10; ++x) im.at(x, y) = static_cast<float>(x + 10 * y) / 100.0f;
+  }
+  const Image patch = crop(im, 2, 3, 4, 4);
+  EXPECT_EQ(patch.width(), 4);
+  EXPECT_EQ(patch.height(), 4);
+  EXPECT_FLOAT_EQ(patch.at(0, 0), im.at(2, 3));
+  EXPECT_FLOAT_EQ(patch.at(3, 3), im.at(5, 6));
+  // Out-of-bounds request clamps to what exists.
+  const Image edge = crop(im, 8, 8, 5, 5);
+  EXPECT_EQ(edge.width(), 2);
+  EXPECT_EQ(edge.height(), 2);
+}
+
+}  // namespace
+}  // namespace rt::img

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "img/image.hpp"
+#include "img/quality.hpp"
+
+namespace rt::img {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string("/tmp/rtoffload_") + name;
+}
+
+TEST(Pgm, SaveLoadRoundTripIsNearLossless) {
+  const Image original = make_scene(64, 48, {.seed = 5});
+  const std::string path = temp_path("roundtrip.pgm");
+  original.save_pgm(path);
+  const Image loaded = Image::load_pgm(path);
+  EXPECT_EQ(loaded.width(), 64);
+  EXPECT_EQ(loaded.height(), 48);
+  // 8-bit quantization: better than ~48 dB for unit-range data.
+  EXPECT_GT(psnr(original, loaded), 48.0);
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, LoadHandlesCommentsAndMaxval) {
+  const std::string path = temp_path("comments.pgm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n# a comment line\n2 # trailing comment\n" << "1\n100\n";
+    out.put(static_cast<char>(0));
+    out.put(static_cast<char>(100));
+  }
+  const Image im = Image::load_pgm(path);
+  EXPECT_EQ(im.width(), 2);
+  EXPECT_EQ(im.height(), 1);
+  EXPECT_FLOAT_EQ(im.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(im.at(1, 0), 1.0f);  // 100/100 with maxval 100
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, LoadErrors) {
+  EXPECT_THROW(Image::load_pgm("/tmp/rtoffload_does_not_exist.pgm"),
+               std::runtime_error);
+
+  const std::string not_p5 = temp_path("notp5.pgm");
+  {
+    std::ofstream out(not_p5, std::ios::binary);
+    out << "P2\n2 2\n255\n0 0 0 0\n";
+  }
+  EXPECT_THROW(Image::load_pgm(not_p5), std::runtime_error);
+  std::remove(not_p5.c_str());
+
+  const std::string truncated = temp_path("trunc.pgm");
+  {
+    std::ofstream out(truncated, std::ios::binary);
+    out << "P5\n4 4\n255\n";
+    out.put(static_cast<char>(1));  // 1 of 16 bytes
+  }
+  EXPECT_THROW(Image::load_pgm(truncated), std::runtime_error);
+  std::remove(truncated.c_str());
+
+  const std::string big_maxval = temp_path("maxval.pgm");
+  {
+    std::ofstream out(big_maxval, std::ios::binary);
+    out << "P5\n1 1\n65535\n";
+    out.put(static_cast<char>(0));
+    out.put(static_cast<char>(0));
+  }
+  EXPECT_THROW(Image::load_pgm(big_maxval), std::runtime_error);
+  std::remove(big_maxval.c_str());
+}
+
+}  // namespace
+}  // namespace rt::img

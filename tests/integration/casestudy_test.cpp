@@ -1,0 +1,86 @@
+#include "casestudy/case_study.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/schedulability.hpp"
+
+namespace rt::casestudy {
+namespace {
+
+TEST(WeightPermutations, TwentyFourUniqueLexicographic) {
+  const auto perms = weight_permutations();
+  ASSERT_EQ(perms.size(), 24u);
+  std::set<std::array<double, 4>> unique(perms.begin(), perms.end());
+  EXPECT_EQ(unique.size(), 24u);
+  // Each permutation uses exactly the weights {1,2,3,4}.
+  for (const auto& p : perms) {
+    std::array<double, 4> sorted = p;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::array<double, 4>{1.0, 2.0, 3.0, 4.0}));
+  }
+  // Lexicographic order: first is identity, last is reversed.
+  EXPECT_EQ(perms.front(), (std::array<double, 4>{1.0, 2.0, 3.0, 4.0}));
+  EXPECT_EQ(perms.back(), (std::array<double, 4>{4.0, 3.0, 2.0, 1.0}));
+}
+
+TEST(CaseStudy, TaskSetIsLocallyFeasibleAndValid) {
+  CaseStudyConfig cfg;
+  cfg.image_width = 320;
+  cfg.image_height = 240;
+  cfg.samples_per_level = 32;
+  const CaseStudy study = build_case_study(cfg);
+  const core::TaskSet tasks = study.task_set();
+  ASSERT_EQ(tasks.size(), 4u);
+  EXPECT_NO_THROW(core::validate_task_set(tasks));
+  // Paper Section 6.1.3: deadlines are chosen so all tasks fit locally.
+  EXPECT_TRUE(core::theorem3_feasible(tasks, core::all_local(4)));
+}
+
+TEST(CaseStudy, RequestProfileAlignsWithBenefitLevels) {
+  CaseStudyConfig cfg;
+  cfg.image_width = 320;
+  cfg.image_height = 240;
+  cfg.samples_per_level = 32;
+  const CaseStudy study = build_case_study(cfg);
+  const sim::RequestProfile profile = study.request_profile();
+  ASSERT_EQ(profile.size(), study.tasks.size());
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    ASSERT_EQ(profile[i].size(), study.tasks[i].task.benefit.size());
+    EXPECT_EQ(profile[i][0].payload_bytes, 0u);  // local level carries nothing
+    for (std::size_t j = 1; j < profile[i].size(); ++j) {
+      EXPECT_GT(profile[i][j].payload_bytes, 0u);
+      EXPECT_TRUE(profile[i][j].compute_time.is_positive());
+      EXPECT_EQ(profile[i][j].stream_id, i);
+    }
+  }
+}
+
+TEST(CaseStudy, PerLevelSetupWcetsGrowWithPayload) {
+  CaseStudyConfig cfg;
+  cfg.image_width = 320;
+  cfg.image_height = 240;
+  cfg.samples_per_level = 32;
+  const CaseStudy study = build_case_study(cfg);
+  for (const auto& t : study.tasks) {
+    const auto& setup = t.task.setup_wcet_per_level;
+    ASSERT_EQ(setup.size(), t.task.benefit.size());
+    for (std::size_t j = 2; j < setup.size(); ++j) {
+      EXPECT_GT(setup[j], setup[j - 1]) << t.task.name;
+    }
+    // Compensation is the local-version WCET at every level (paper's rule).
+    for (std::size_t j = 1; j < t.task.compensation_wcet_per_level.size(); ++j) {
+      EXPECT_EQ(t.task.compensation_wcet_per_level[j], t.task.local_wcet);
+    }
+  }
+}
+
+TEST(CaseStudy, ConfigValidation) {
+  CaseStudyConfig cfg;
+  cfg.num_levels = 1;
+  EXPECT_THROW(build_case_study(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rt::casestudy

@@ -1,0 +1,81 @@
+// End-to-end test of the rtoffload_cli tool: generate the sample file, run
+// the pipeline on it, and validate the JSON report. Exercises the real
+// binary (path injected by CMake), argument handling, and exit codes.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace rt {
+namespace {
+
+std::string run_capture(const std::string& cmd, int* exit_code) {
+  const std::string out_path = "/tmp/rtoffload_cli_test_out.txt";
+  const int rc = std::system((cmd + " > " + out_path + " 2>/dev/null").c_str());
+  *exit_code = WEXITSTATUS(rc);
+  std::ifstream in(out_path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::remove(out_path.c_str());
+  return buf.str();
+}
+
+TEST(CliTool, SampleRoundTripProducesCleanReport) {
+  int rc = 0;
+  const std::string sample = run_capture(std::string(RTOFFLOAD_CLI_PATH) + " --sample", &rc);
+  ASSERT_EQ(rc, 0);
+  // The sample itself must parse.
+  ASSERT_NO_THROW((void)Json::parse(sample));
+
+  const std::string in_path = "/tmp/rtoffload_cli_test_in.json";
+  {
+    std::ofstream out(in_path);
+    out << sample;
+  }
+  const std::string report_text =
+      run_capture(std::string(RTOFFLOAD_CLI_PATH) + " " + in_path, &rc);
+  std::remove(in_path.c_str());
+  EXPECT_EQ(rc, 0) << "CLI exits non-zero only on deadline misses";
+
+  const Json report = Json::parse(report_text);
+  EXPECT_TRUE(report.at("feasible").as_bool());
+  EXPECT_LE(report.at("theorem3_density").as_number(), 1.0 + 1e-12);
+  EXPECT_EQ(report.at("decisions").as_array().size(), 3u);
+  const Json& sim = report.at("simulation");
+  EXPECT_EQ(sim.at("deadline_misses").as_number(), 0.0);
+  EXPECT_GT(sim.at("released").as_number(), 0.0);
+  EXPECT_EQ(sim.at("per_task").as_array().size(), 3u);
+  // The exact PDA section is enabled in the sample config.
+  EXPECT_TRUE(report.at("exact_pda").at("feasible").as_bool());
+}
+
+TEST(CliTool, HelpAndMissingFile) {
+  int rc = 0;
+  const std::string help =
+      run_capture(std::string(RTOFFLOAD_CLI_PATH) + " --help", &rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(help.find("usage"), std::string::npos);
+
+  run_capture(std::string(RTOFFLOAD_CLI_PATH) + " /nonexistent.json", &rc);
+  EXPECT_EQ(rc, 1);
+}
+
+TEST(CliTool, MalformedInputFailsCleanly) {
+  const std::string in_path = "/tmp/rtoffload_cli_bad.json";
+  {
+    std::ofstream out(in_path);
+    out << "{\"tasks\": [{\"name\": \"broken\"}]}";
+  }
+  int rc = 0;
+  run_capture(std::string(RTOFFLOAD_CLI_PATH) + " " + in_path, &rc);
+  std::remove(in_path.c_str());
+  EXPECT_EQ(rc, 1);  // error, not a crash
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,151 @@
+#include "server/gpu_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "server/estimator.hpp"
+#include "util/stats.hpp"
+
+namespace rt::server {
+namespace {
+
+using namespace rt::literals;
+
+GpuServerConfig quiet_config() {
+  GpuServerConfig cfg;
+  cfg.num_executors = 2;
+  cfg.background.arrivals_per_sec = 0.0;
+  cfg.network.jitter = 0.0;
+  cfg.network.loss_probability = 0.0;
+  return cfg;
+}
+
+TEST(QueueingGpuServer, IdleServerResponseIsTransferPlusCompute) {
+  QueueingGpuServer srv(quiet_config(), 1);
+  Rng rng(1);
+  Request req;
+  req.send_time = TimePoint::zero();
+  req.compute_time = 5_ms;
+  req.payload_bytes = 0;
+  const Duration resp = srv.sample(req, rng);
+  // uplink latency + dispatch + compute + downlink (1KiB) latency.
+  const Duration expect = 2_ms + 400_us + 5_ms + 2_ms +
+                          Duration::from_seconds(1024.0 / 3.0e6);
+  EXPECT_NEAR(resp.ms(), expect.ms(), 0.01);
+}
+
+TEST(QueueingGpuServer, BackToBackRequestsQueueOnExecutors) {
+  // Two executors: the first two simultaneous requests run in parallel, the
+  // third waits for an executor.
+  QueueingGpuServer srv(quiet_config(), 1);
+  Rng rng(2);
+  Request req;
+  req.send_time = TimePoint::zero();
+  req.compute_time = 50_ms;
+  const double r1 = srv.sample(req, rng).ms();
+  const double r2 = srv.sample(req, rng).ms();
+  const double r3 = srv.sample(req, rng).ms();
+  EXPECT_NEAR(r1, r2, 0.01);
+  EXPECT_GT(r3, r1 + 45.0);  // waited for a ~50 ms slot
+}
+
+TEST(QueueingGpuServer, BackgroundLoadInflatesResponses) {
+  Rng rng(3);
+  Request req;
+  req.compute_time = 5_ms;
+  auto run = [&](double arrivals_per_sec) {
+    GpuServerConfig cfg = quiet_config();
+    cfg.background.arrivals_per_sec = arrivals_per_sec;
+    QueueingGpuServer srv(cfg, 99);
+    Rng local(4);
+    RunningStats stats;
+    const auto samples =
+        collect_response_samples(srv, req, 50_ms, 400, local);
+    for (const auto s : samples) {
+      if (s != kNoResponse) stats.add(s.ms());
+    }
+    return stats.mean();
+  };
+  const double idle_mean = run(0.0);
+  const double busy_mean = run(200.0);
+  EXPECT_GT(busy_mean, idle_mean * 1.5);
+}
+
+TEST(QueueingGpuServer, ResetRestoresInitialState) {
+  GpuServerConfig cfg = quiet_config();
+  cfg.background.arrivals_per_sec = 100.0;
+  QueueingGpuServer srv(cfg, 7);
+  Rng rng(5);
+  Request req;
+  req.send_time = TimePoint::zero();
+  req.compute_time = 5_ms;
+  const Duration first = srv.sample(req, rng);
+  srv.reset();
+  Rng rng2(5);
+  const Duration again = srv.sample(req, rng2);
+  EXPECT_EQ(first, again);
+}
+
+TEST(QueueingGpuServer, BackgroundUtilizationDiagnostic) {
+  GpuServerConfig cfg = quiet_config();
+  cfg.background.arrivals_per_sec = 100.0;
+  cfg.background.mean_service = 10_ms;
+  cfg.num_executors = 2;
+  QueueingGpuServer srv(cfg, 1);
+  EXPECT_NEAR(srv.background_utilization(), 0.5, 1e-12);
+}
+
+TEST(QueueingGpuServer, ConfigValidation) {
+  GpuServerConfig cfg = quiet_config();
+  cfg.num_executors = 0;
+  EXPECT_THROW(QueueingGpuServer(cfg, 1), std::invalid_argument);
+  cfg = quiet_config();
+  cfg.background.arrivals_per_sec = -1.0;
+  EXPECT_THROW(QueueingGpuServer(cfg, 1), std::invalid_argument);
+  cfg = quiet_config();
+  cfg.background.mean_service = Duration::zero();
+  EXPECT_THROW(QueueingGpuServer(cfg, 1), std::invalid_argument);
+}
+
+TEST(Scenarios, OrderedByAggressiveness) {
+  // The defining property of the three case-study scenarios: success within
+  // a fixed window degrades from idle to busy.
+  Rng rng(11);
+  Request req;
+  req.compute_time = 4_ms;
+  req.payload_bytes = 20'000;
+  auto success_at = [&](Scenario s) {
+    auto srv = make_scenario_server(s, 1234);
+    Rng local(6);
+    const auto samples = collect_response_samples(*srv, req, 100_ms, 500, local);
+    return success_probability(samples, 60_ms);
+  };
+  const double busy = success_at(Scenario::kBusy);
+  const double not_busy = success_at(Scenario::kNotBusy);
+  const double idle = success_at(Scenario::kIdle);
+  EXPECT_LT(busy, not_busy);
+  EXPECT_LT(not_busy, idle);
+  EXPECT_GT(idle, 0.95);
+  EXPECT_LT(busy, 0.55);
+}
+
+TEST(Scenarios, NamesAndConfigs) {
+  EXPECT_STREQ(to_string(Scenario::kBusy), "busy");
+  EXPECT_STREQ(to_string(Scenario::kNotBusy), "not-busy");
+  EXPECT_STREQ(to_string(Scenario::kIdle), "idle");
+  EXPECT_GT(make_scenario_config(Scenario::kBusy).background.arrivals_per_sec,
+            make_scenario_config(Scenario::kNotBusy).background.arrivals_per_sec);
+  EXPECT_EQ(make_scenario_config(Scenario::kIdle).background.arrivals_per_sec, 0.0);
+}
+
+TEST(CollectResponseSamples, CountAndValidation) {
+  FixedResponse model(5_ms);
+  Rng rng(1);
+  Request req;
+  const auto samples = collect_response_samples(model, req, 10_ms, 25, rng);
+  EXPECT_EQ(samples.size(), 25u);
+  EXPECT_THROW(collect_response_samples(model, req, Duration::zero(), 5, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rt::server

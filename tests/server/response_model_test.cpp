@@ -1,0 +1,137 @@
+#include "server/response_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "server/network.hpp"
+
+namespace rt::server {
+namespace {
+
+using namespace rt::literals;
+
+TEST(FixedResponse, AlwaysReturnsConfigured) {
+  FixedResponse model(25_ms);
+  Rng rng(1);
+  Request req;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(model.sample(req, rng), 25_ms);
+}
+
+TEST(NeverResponds, AlwaysNoResponse) {
+  NeverResponds model;
+  Rng rng(1);
+  Request req;
+  EXPECT_EQ(model.sample(req, rng), kNoResponse);
+}
+
+TEST(ShiftedLognormal, SamplesExceedShift) {
+  ShiftedLognormalResponse model(10_ms, std::log(5.0), 0.5);
+  Rng rng(2);
+  Request req;
+  for (int i = 0; i < 1000; ++i) {
+    const Duration d = model.sample(req, rng);
+    ASSERT_NE(d, kNoResponse);
+    EXPECT_GT(d, 10_ms);
+  }
+}
+
+TEST(ShiftedLognormal, MedianNearShiftPlusExpMu) {
+  // Median of LogN(mu, sigma) is exp(mu); with mu = ln(8) the median
+  // response should be ~ shift + 8 ms.
+  ShiftedLognormalResponse model(5_ms, std::log(8.0), 0.6);
+  Rng rng(3);
+  Request req;
+  std::vector<double> ms;
+  for (int i = 0; i < 20'000; ++i) ms.push_back(model.sample(req, rng).ms());
+  std::nth_element(ms.begin(), ms.begin() + ms.size() / 2, ms.end());
+  EXPECT_NEAR(ms[ms.size() / 2], 13.0, 0.5);
+}
+
+TEST(ShiftedLognormal, DropProbabilityProducesNoResponse) {
+  ShiftedLognormalResponse model(0_ms, 0.0, 0.1, 0.25);
+  Rng rng(4);
+  Request req;
+  int drops = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (model.sample(req, rng) == kNoResponse) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.25, 0.02);
+}
+
+TEST(ShiftedLognormal, Validation) {
+  EXPECT_THROW(ShiftedLognormalResponse(Duration(-1), 0.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(ShiftedLognormalResponse(0_ms, 0.0, -0.5), std::invalid_argument);
+  EXPECT_THROW(ShiftedLognormalResponse(0_ms, 0.0, 0.5, 1.5),
+               std::invalid_argument);
+}
+
+TEST(EmpiricalResponse, DrawsOnlyFromBag) {
+  EmpiricalResponse model({10_ms, 20_ms, 30_ms});
+  Rng rng(5);
+  Request req;
+  for (int i = 0; i < 200; ++i) {
+    const Duration d = model.sample(req, rng);
+    EXPECT_TRUE(d == 10_ms || d == 20_ms || d == 30_ms);
+  }
+  EXPECT_THROW(EmpiricalResponse({}), std::invalid_argument);
+}
+
+TEST(EmpiricalResponse, AllValuesEventuallyDrawn) {
+  EmpiricalResponse model({10_ms, 20_ms});
+  Rng rng(6);
+  Request req;
+  bool saw10 = false, saw20 = false;
+  for (int i = 0; i < 200; ++i) {
+    const Duration d = model.sample(req, rng);
+    saw10 |= d == 10_ms;
+    saw20 |= d == 20_ms;
+  }
+  EXPECT_TRUE(saw10 && saw20);
+}
+
+TEST(NetworkModel, NominalTransferIsLatencyPlusBandwidth) {
+  NetworkModel net;
+  net.base_latency = 2_ms;
+  net.bandwidth_bytes_per_sec = 1e6;
+  EXPECT_EQ(net.nominal_transfer(0), 2_ms);
+  EXPECT_EQ(net.nominal_transfer(1'000'000), 1002_ms);
+}
+
+TEST(NetworkModel, JitterBoundsSampledTransfer) {
+  NetworkModel net;
+  net.base_latency = 10_ms;
+  net.bandwidth_bytes_per_sec = 1e6;
+  net.jitter = 0.5;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const Duration d = net.sample_transfer(10'000, rng);
+    EXPECT_GE(d, net.nominal_transfer(10'000));
+    EXPECT_LE(d.ms(), net.nominal_transfer(10'000).ms() * 1.5 + 0.001);
+  }
+}
+
+TEST(NetworkModel, LossReturnsMax) {
+  NetworkModel net;
+  net.loss_probability = 1.0;
+  Rng rng(8);
+  EXPECT_EQ(net.sample_transfer(100, rng), Duration::max());
+}
+
+TEST(NetworkModel, Validation) {
+  NetworkModel net;
+  net.bandwidth_bytes_per_sec = 0.0;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+  net = NetworkModel{};
+  net.jitter = -0.1;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+  net = NetworkModel{};
+  net.loss_probability = 2.0;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rt::server

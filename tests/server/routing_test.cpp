@@ -1,0 +1,86 @@
+#include "server/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/odm.hpp"
+#include "core/workload.hpp"
+#include "sim/simulator.hpp"
+
+namespace rt::server {
+namespace {
+
+using namespace rt::literals;
+
+std::unique_ptr<RoutingResponse> two_route_model() {
+  std::vector<std::unique_ptr<ResponseModel>> routes;
+  routes.push_back(std::make_unique<FixedResponse>(10_ms));
+  routes.push_back(std::make_unique<FixedResponse>(70_ms));
+  return std::make_unique<RoutingResponse>(std::move(routes),
+                                           std::vector<std::size_t>{0, 1});
+}
+
+TEST(RoutingResponse, RoutesByStreamId) {
+  auto model = two_route_model();
+  Rng rng(1);
+  Request req;
+  req.stream_id = 0;
+  EXPECT_EQ(model->sample(req, rng), 10_ms);
+  req.stream_id = 1;
+  EXPECT_EQ(model->sample(req, rng), 70_ms);
+}
+
+TEST(RoutingResponse, StreamsBeyondMappingUseLastRoute) {
+  auto model = two_route_model();
+  Rng rng(1);
+  Request req;
+  req.stream_id = 99;
+  EXPECT_EQ(model->sample(req, rng), 70_ms);
+  EXPECT_EQ(model->route_for(99), 1u);
+}
+
+TEST(RoutingResponse, Validation) {
+  EXPECT_THROW(RoutingResponse({}, {0}), std::invalid_argument);
+  std::vector<std::unique_ptr<ResponseModel>> routes;
+  routes.push_back(std::make_unique<FixedResponse>(10_ms));
+  EXPECT_THROW(RoutingResponse(std::move(routes), {}), std::invalid_argument);
+  std::vector<std::unique_ptr<ResponseModel>> routes2;
+  routes2.push_back(std::make_unique<FixedResponse>(10_ms));
+  EXPECT_THROW(RoutingResponse(std::move(routes2), {5}), std::invalid_argument);
+  std::vector<std::unique_ptr<ResponseModel>> routes3;
+  routes3.push_back(nullptr);
+  EXPECT_THROW(RoutingResponse(std::move(routes3), {0}), std::invalid_argument);
+}
+
+TEST(RoutingResponse, TwoComponentsEndToEnd) {
+  // Task 0 targets a fast local accelerator, task 1 a dead remote box: the
+  // first always succeeds, the second always compensates -- with zero
+  // deadline misses for both.
+  core::TaskSet tasks;
+  core::Task fast = core::make_simple_task("fast", 100_ms, 30_ms, 3_ms, 30_ms);
+  fast.benefit = core::BenefitFunction({{0_ms, 1.0}, {40_ms, 8.0}});
+  core::Task doomed = core::make_simple_task("doomed", 200_ms, 40_ms, 4_ms, 40_ms);
+  doomed.benefit = core::BenefitFunction({{0_ms, 1.0}, {60_ms, 9.0}});
+  tasks.push_back(fast);
+  tasks.push_back(doomed);
+
+  const core::DecisionVector ds{core::Decision::offload(1, 40_ms),
+                                core::Decision::offload(1, 60_ms)};
+  std::vector<std::unique_ptr<ResponseModel>> routes;
+  routes.push_back(std::make_unique<FixedResponse>(15_ms));
+  routes.push_back(std::make_unique<NeverResponds>());
+  RoutingResponse srv(std::move(routes), {0, 1});
+
+  sim::SimConfig cfg;
+  cfg.horizon = 2_s;
+  cfg.abort_on_deadline_miss = true;
+  const sim::SimResult res = sim::simulate(tasks, ds, srv, cfg);
+  EXPECT_EQ(res.metrics.per_task[0].timely_results,
+            res.metrics.per_task[0].offload_attempts);
+  EXPECT_EQ(res.metrics.per_task[0].compensations, 0u);
+  EXPECT_EQ(res.metrics.per_task[1].timely_results, 0u);
+  EXPECT_GT(res.metrics.per_task[1].compensations, 0u);
+  EXPECT_EQ(res.metrics.total_deadline_misses(), 0u);
+}
+
+}  // namespace
+}  // namespace rt::server

@@ -1,0 +1,126 @@
+// Determinism and conservation properties of the discrete-event engine.
+//
+// The evaluation story depends on bit-reproducible runs (EXPERIMENTS.md
+// quotes exact numbers), so the engine must be a pure function of
+// (tasks, decisions, server state, config).
+
+#include <gtest/gtest.h>
+
+#include "core/odm.hpp"
+#include "core/workload.hpp"
+#include "server/gpu_server.hpp"
+#include "sim/simulator.hpp"
+
+namespace rt::sim {
+namespace {
+
+using namespace rt::literals;
+
+struct Fixture {
+  core::TaskSet tasks;
+  core::DecisionVector decisions;
+};
+
+Fixture make_setup(std::uint64_t seed) {
+  Rng rng(seed);
+  core::PaperSimConfig wl;
+  wl.num_tasks = 12;
+  Fixture s;
+  s.tasks = core::make_paper_simulation_taskset(rng, wl);
+  s.decisions = core::decide_offloading(s.tasks).decisions;
+  return s;
+}
+
+bool metrics_equal(const SimMetrics& a, const SimMetrics& b) {
+  if (a.per_task.size() != b.per_task.size()) return false;
+  if (a.cpu_busy_ns != b.cpu_busy_ns) return false;
+  for (std::size_t i = 0; i < a.per_task.size(); ++i) {
+    const auto& x = a.per_task[i];
+    const auto& y = b.per_task[i];
+    if (x.released != y.released || x.completed != y.completed ||
+        x.deadline_misses != y.deadline_misses ||
+        x.timely_results != y.timely_results ||
+        x.compensations != y.compensations ||
+        x.late_results != y.late_results ||
+        x.accrued_benefit != y.accrued_benefit) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(Determinism, IdenticalConfigIdenticalRun) {
+  const Fixture s = make_setup(5);
+  SimConfig cfg;
+  cfg.horizon = 20_s;
+  cfg.seed = 77;
+  cfg.exec_policy = ExecTimePolicy::kUniformFraction;
+  cfg.release_policy = ReleasePolicy::kSporadic;
+
+  auto srv_a = server::make_scenario_server(server::Scenario::kNotBusy, 3);
+  auto srv_b = server::make_scenario_server(server::Scenario::kNotBusy, 3);
+  const SimResult a = simulate(s.tasks, s.decisions, *srv_a, cfg);
+  const SimResult b = simulate(s.tasks, s.decisions, *srv_b, cfg);
+  EXPECT_TRUE(metrics_equal(a.metrics, b.metrics));
+}
+
+TEST(Determinism, SeedChangesStochasticRuns) {
+  const Fixture s = make_setup(5);
+  SimConfig cfg_a;
+  cfg_a.horizon = 20_s;
+  cfg_a.seed = 1;
+  cfg_a.exec_policy = ExecTimePolicy::kUniformFraction;
+  SimConfig cfg_b = cfg_a;
+  cfg_b.seed = 2;
+  auto srv_a = server::make_scenario_server(server::Scenario::kNotBusy, 3);
+  auto srv_b = server::make_scenario_server(server::Scenario::kNotBusy, 3);
+  const SimResult a = simulate(s.tasks, s.decisions, *srv_a, cfg_a);
+  const SimResult b = simulate(s.tasks, s.decisions, *srv_b, cfg_b);
+  EXPECT_FALSE(metrics_equal(a.metrics, b.metrics));
+}
+
+TEST(Conservation, CountersAreConsistent) {
+  const Fixture s = make_setup(9);
+  auto srv = server::make_scenario_server(server::Scenario::kBusy, 4);
+  SimConfig cfg;
+  cfg.horizon = 30_s;
+  const SimResult res = simulate(s.tasks, s.decisions, *srv, cfg);
+  for (std::size_t i = 0; i < s.tasks.size(); ++i) {
+    const auto& m = res.metrics.per_task[i];
+    EXPECT_LE(m.completed, m.released);
+    if (s.decisions[i].offloaded()) {
+      EXPECT_EQ(m.local_runs, 0u);
+      EXPECT_LE(m.offload_attempts, m.released);
+      // Each attempt resolves as timely, late-then-compensated, or
+      // dropped-then-compensated; timely + compensations <= attempts.
+      EXPECT_LE(m.timely_results + m.compensations, m.offload_attempts);
+      EXPECT_LE(m.late_results, m.offload_attempts);
+      // Every finite response was sampled at send time; a timely arrival
+      // scheduled past the horizon is dropped, so observed >= timely + late.
+      EXPECT_GE(m.observed_response_ms.count(),
+                m.timely_results + m.late_results);
+    } else {
+      EXPECT_EQ(m.offload_attempts, 0u);
+      EXPECT_EQ(m.local_runs, m.completed);
+    }
+  }
+  // CPU can never be busy longer than the horizon.
+  EXPECT_LE(res.metrics.cpu_busy_ns, cfg.horizon.ns());
+}
+
+TEST(Conservation, BenefitIsBoundedByReleasesTimesMaxValue) {
+  const Fixture s = make_setup(11);
+  auto srv = server::make_scenario_server(server::Scenario::kIdle, 4);
+  SimConfig cfg;
+  cfg.horizon = 10_s;
+  const SimResult res = simulate(s.tasks, s.decisions, *srv, cfg);
+  for (std::size_t i = 0; i < s.tasks.size(); ++i) {
+    const auto& m = res.metrics.per_task[i];
+    const double cap = static_cast<double>(m.released) * s.tasks[i].weight *
+                       std::max(1.0, s.tasks[i].benefit.max_value());
+    EXPECT_LE(m.accrued_benefit, cap + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rt::sim

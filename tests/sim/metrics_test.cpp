@@ -1,0 +1,61 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rt::sim {
+namespace {
+
+SimMetrics two_task_metrics() {
+  SimMetrics m;
+  m.per_task.resize(2);
+  m.per_task[0].released = 10;
+  m.per_task[0].completed = 9;
+  m.per_task[0].deadline_misses = 1;
+  m.per_task[0].timely_results = 6;
+  m.per_task[0].compensations = 3;
+  m.per_task[0].accrued_benefit = 12.5;
+  m.per_task[1].released = 20;
+  m.per_task[1].completed = 20;
+  m.per_task[1].timely_results = 0;
+  m.per_task[1].compensations = 0;
+  m.per_task[1].accrued_benefit = 7.5;
+  m.cpu_busy_ns = 400'000'000;
+  m.end_time = TimePoint(1'000'000'000);
+  return m;
+}
+
+TEST(SimMetrics, TotalsSumPerTask) {
+  const SimMetrics m = two_task_metrics();
+  EXPECT_EQ(m.total_released(), 30u);
+  EXPECT_EQ(m.total_completed(), 29u);
+  EXPECT_EQ(m.total_deadline_misses(), 1u);
+  EXPECT_EQ(m.total_timely_results(), 6u);
+  EXPECT_EQ(m.total_compensations(), 3u);
+  EXPECT_DOUBLE_EQ(m.total_benefit(), 20.0);
+}
+
+TEST(SimMetrics, CpuUtilization) {
+  const SimMetrics m = two_task_metrics();
+  EXPECT_DOUBLE_EQ(m.cpu_utilization(), 0.4);
+  SimMetrics empty;
+  EXPECT_DOUBLE_EQ(empty.cpu_utilization(), 0.0);  // no horizon: no division
+}
+
+TEST(SimMetrics, SummaryContainsAllCounters) {
+  const std::string s = two_task_metrics().summary();
+  EXPECT_NE(s.find("released=30"), std::string::npos);
+  EXPECT_NE(s.find("completed=29"), std::string::npos);
+  EXPECT_NE(s.find("misses=1"), std::string::npos);
+  EXPECT_NE(s.find("timely=6"), std::string::npos);
+  EXPECT_NE(s.find("compensations=3"), std::string::npos);
+  EXPECT_NE(s.find("benefit=20"), std::string::npos);
+}
+
+TEST(SimMetrics, EmptyMetricsAreZero) {
+  SimMetrics m;
+  EXPECT_EQ(m.total_released(), 0u);
+  EXPECT_DOUBLE_EQ(m.total_benefit(), 0.0);
+}
+
+}  // namespace
+}  // namespace rt::sim

@@ -1,0 +1,85 @@
+// Property test: randomly generated documents survive
+// parse(dump(x)) == x for both compact and pretty output, across depths
+// and value mixes (including awkward strings and numbers).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace rt {
+namespace {
+
+std::string random_string(Rng& rng) {
+  static const char* pool[] = {
+      "", "a", "with space", "quote\"inside", "back\\slash", "new\nline",
+      "tab\there", "unicode caf\xC3\xA9", "slash/es", "{looks:like,json}",
+      "0123456789", "control\x01", "ends with backslash\\",
+  };
+  return pool[rng.uniform_int(0, static_cast<std::int64_t>(std::size(pool)) - 1)];
+}
+
+double random_number(Rng& rng) {
+  switch (rng.uniform_int(0, 4)) {
+    case 0: return 0.0;
+    case 1: return static_cast<double>(rng.uniform_int(-1'000'000, 1'000'000));
+    case 2: return rng.uniform(-1.0, 1.0);
+    case 3: return rng.uniform(-1e12, 1e12);
+    default: return std::ldexp(rng.uniform(0.5, 1.0), static_cast<int>(rng.uniform_int(-60, 60)));
+  }
+}
+
+Json random_value(Rng& rng, int depth) {
+  const std::int64_t kind = rng.uniform_int(0, depth <= 0 ? 3 : 5);
+  switch (kind) {
+    case 0: return Json(nullptr);
+    case 1: return Json(rng.bernoulli(0.5));
+    case 2: return Json(random_number(rng));
+    case 3: return Json(random_string(rng));
+    case 4: {
+      Json::Array arr;
+      const auto n = rng.uniform_int(0, 4);
+      for (std::int64_t i = 0; i < n; ++i) arr.push_back(random_value(rng, depth - 1));
+      return Json(std::move(arr));
+    }
+    default: {
+      Json::Object obj;
+      const auto n = rng.uniform_int(0, 4);
+      for (std::int64_t i = 0; i < n; ++i) {
+        obj[random_string(rng) + std::to_string(i)] = random_value(rng, depth - 1);
+      }
+      return Json(std::move(obj));
+    }
+  }
+}
+
+class JsonFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JsonFuzz, RoundTripCompactAndPretty) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    const Json original = random_value(rng, 5);
+    const Json compact = Json::parse(original.dump());
+    EXPECT_EQ(compact, original);
+    const Json pretty = Json::parse(original.dump(2));
+    EXPECT_EQ(pretty, original);
+  }
+}
+
+TEST_P(JsonFuzz, DoubleDumpIsStable) {
+  // dump is canonical: dump(parse(dump(x))) == dump(x).
+  Rng rng(GetParam() ^ 0xF00Dull);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Json original = random_value(rng, 4);
+    const std::string once = original.dump();
+    EXPECT_EQ(Json::parse(once).dump(), once);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace rt

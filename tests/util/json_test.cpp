@@ -1,0 +1,140 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rt {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const Json j = Json::parse("  {\n\t\"a\" :\r [ 1 , 2 ]\n} ");
+  EXPECT_EQ(j.at("a").as_array().size(), 2u);
+}
+
+TEST(JsonParse, NestedStructures) {
+  const Json j = Json::parse(R"({"a": [1, {"b": [true, null]}], "c": {}})");
+  EXPECT_TRUE(j.is_object());
+  EXPECT_DOUBLE_EQ(j.at("a").as_array()[0].as_number(), 1.0);
+  EXPECT_TRUE(j.at("a").as_array()[1].at("b").as_array()[1].is_null());
+  EXPECT_TRUE(j.at("c").as_object().empty());
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(Json::parse(R"("Aé€")").as_string(), "A\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_THROW(Json::parse(""), JsonParseError);
+  EXPECT_THROW(Json::parse("{"), JsonParseError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonParseError);
+  EXPECT_THROW(Json::parse("nul"), JsonParseError);
+  EXPECT_THROW(Json::parse("1 2"), JsonParseError);      // trailing garbage
+  EXPECT_THROW(Json::parse("\"ab"), JsonParseError);     // unterminated string
+  EXPECT_THROW(Json::parse("-"), JsonParseError);
+  EXPECT_THROW(Json::parse("1e"), JsonParseError);
+  EXPECT_THROW(Json::parse(R"("\ud800")"), JsonParseError);  // surrogate
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), JsonParseError);
+  EXPECT_THROW(Json::parse("\"\x01\""), JsonParseError);  // raw control char
+}
+
+TEST(JsonParse, ErrorCarriesOffset) {
+  try {
+    Json::parse("[1, oops]");
+    FAIL() << "expected throw";
+  } catch (const JsonParseError& e) {
+    EXPECT_GE(e.offset(), 4u);
+  }
+}
+
+TEST(JsonParse, DepthLimitEnforced) {
+  std::string deep;
+  for (int i = 0; i < 50; ++i) deep += '[';
+  for (int i = 0; i < 50; ++i) deep += ']';
+  EXPECT_NO_THROW(Json::parse(deep, 64));
+  EXPECT_THROW(Json::parse(deep, 16), JsonParseError);
+}
+
+TEST(JsonAccessors, TypeMismatchThrows) {
+  const Json j = Json::parse("{\"n\": 5}");
+  EXPECT_THROW((void)j.as_number(), JsonTypeError);
+  EXPECT_THROW((void)j.at("n").as_string(), JsonTypeError);
+  EXPECT_THROW((void)j.at("missing"), JsonTypeError);
+  EXPECT_THROW((void)Json(1.0).at("x"), JsonTypeError);
+}
+
+TEST(JsonAccessors, Defaults) {
+  const Json j = Json::parse(R"({"s": "x", "n": 2, "b": true})");
+  EXPECT_EQ(j.string_or("s", "d"), "x");
+  EXPECT_EQ(j.string_or("zz", "d"), "d");
+  EXPECT_DOUBLE_EQ(j.number_or("n", 9.0), 2.0);
+  EXPECT_DOUBLE_EQ(j.number_or("zz", 9.0), 9.0);
+  EXPECT_TRUE(j.bool_or("b", false));
+  EXPECT_FALSE(j.bool_or("zz", false));
+  EXPECT_TRUE(j.contains("s"));
+  EXPECT_FALSE(j.contains("zz"));
+}
+
+TEST(JsonDump, CompactRoundTrip) {
+  const std::string src = R"({"a":[1,2.5,"x"],"b":{"c":null,"d":false}})";
+  const Json j = Json::parse(src);
+  EXPECT_EQ(Json::parse(j.dump()), j);
+  EXPECT_EQ(j.dump(), src);  // keys already sorted
+}
+
+TEST(JsonDump, IntegersPrintWithoutDecimals) {
+  EXPECT_EQ(Json(42.0).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+}
+
+TEST(JsonDump, PrettyIndentation) {
+  const Json j = Json::parse(R"({"a":[1],"b":2})");
+  EXPECT_EQ(j.dump(2), "{\n  \"a\": [\n    1\n  ],\n  \"b\": 2\n}");
+}
+
+TEST(JsonDump, EscapesSpecials) {
+  EXPECT_EQ(Json("a\"b\\c\nd").dump(), R"("a\"b\\c\nd")");
+  EXPECT_EQ(Json(std::string("\x01")).dump(), "\"\\u0001\"");
+}
+
+TEST(JsonDump, EmptyContainers) {
+  EXPECT_EQ(Json(Json::Array{}).dump(2), "[]");
+  EXPECT_EQ(Json(Json::Object{}).dump(2), "{}");
+}
+
+TEST(JsonValue, ConstructionAndEquality) {
+  Json::Object obj;
+  obj["k"] = Json(Json::Array{Json(1), Json("two")});
+  const Json a(obj);
+  const Json b = Json::parse(R"({"k": [1, "two"]})");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, Json(1.0));
+}
+
+TEST(JsonValue, BigRoundTripFuzz) {
+  // A structurally rich document survives parse(dump(parse(x))).
+  const std::string src = R"({
+    "tasks": [
+      {"name": "stereo", "period_ms": 1800, "benefit": [[0, 22.49], [195.28, 30.59]]},
+      {"name": "edge", "nested": {"deep": [[[1, 2], [3]], {"x": 1e-9}]}}
+    ],
+    "flags": [true, false, null],
+    "unicode": "café"
+  })";
+  const Json j = Json::parse(src);
+  EXPECT_EQ(Json::parse(j.dump()), j);
+  EXPECT_EQ(Json::parse(j.dump(4)), j);
+  EXPECT_EQ(j.at("unicode").as_string(), "caf\xC3\xA9");
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,85 @@
+#include "util/rational.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rt {
+namespace {
+
+TEST(Rational, NormalizesOnConstruction) {
+  const Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+  const Rational neg(3, -6);
+  EXPECT_EQ(neg.num(), -1);
+  EXPECT_EQ(neg.den(), 2);
+  const Rational zero(0, 123);
+  EXPECT_EQ(zero.num(), 0);
+  EXPECT_EQ(zero.den(), 1);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::domain_error);
+}
+
+TEST(Rational, Arithmetic) {
+  const Rational a(1, 3);
+  const Rational b(1, 6);
+  EXPECT_EQ(a + b, Rational(1, 2));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 18));
+  EXPECT_EQ(a / b, Rational(2));
+  EXPECT_EQ(-a, Rational(-1, 3));
+}
+
+TEST(Rational, ImplicitIntegerConversion) {
+  const Rational half(1, 2);
+  EXPECT_LT(half, 1);
+  EXPECT_GT(half, 0);
+  EXPECT_EQ(Rational(4, 2), 2);
+}
+
+TEST(Rational, ComparisonIsExact) {
+  // 1/3 + 1/3 + 1/3 == 1 exactly (doubles would not guarantee this).
+  const Rational third(1, 3);
+  EXPECT_EQ(third + third + third, Rational(1));
+  EXPECT_LT(Rational(999'999'999, 1'000'000'000), 1);
+  EXPECT_GT(Rational(1'000'000'001, 1'000'000'000), 1);
+}
+
+TEST(Rational, CrossMultiplicationComparisonAvoidsOverflow) {
+  const Rational a(INT64_MAX / 3, INT64_MAX / 2);
+  const Rational b(2, 3);
+  // a ~ 2/3; comparison must not overflow.
+  EXPECT_NO_THROW((void)(a < b));
+}
+
+TEST(Rational, AdditionOverflowThrows) {
+  // Two coprime huge denominators force an unreducible huge denominator.
+  const Rational a(1, (1LL << 62) - 1);
+  const Rational b(1, (1LL << 62) - 3);
+  EXPECT_THROW(a + b, RationalOverflow);
+}
+
+TEST(Rational, InverseAndDivisionByZero) {
+  EXPECT_EQ(Rational(3, 7).inverse(), Rational(7, 3));
+  EXPECT_THROW((void)Rational(0).inverse(), std::domain_error);
+  EXPECT_THROW(Rational(1) / Rational(0), std::domain_error);
+}
+
+TEST(Rational, ToDoubleAndToString) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+  EXPECT_EQ(Rational(3, 2).to_string(), "3/2");
+  EXPECT_EQ(Rational(5).to_string(), "5");
+}
+
+TEST(Rational, CompoundAssignment) {
+  Rational r(1, 2);
+  r += Rational(1, 4);
+  r -= Rational(1, 8);
+  r *= Rational(2);
+  r /= Rational(5, 4);
+  EXPECT_EQ(r, Rational(1));
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,76 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rt {
+namespace {
+
+using namespace rt::literals;
+
+TEST(Duration, FactoriesAgreeOnUnits) {
+  EXPECT_EQ(Duration::microseconds(1).ns(), 1'000);
+  EXPECT_EQ(Duration::milliseconds(1).ns(), 1'000'000);
+  EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::milliseconds(3), 3000_us);
+  EXPECT_EQ(2_s, Duration::milliseconds(2000));
+}
+
+TEST(Duration, FromMsRoundsToNearestTick) {
+  EXPECT_EQ(Duration::from_ms(1.5).ns(), 1'500'000);
+  EXPECT_EQ(Duration::from_ms(0.0000005).ns(), 1);   // rounds up
+  EXPECT_EQ(Duration::from_ms(0.0000004).ns(), 0);   // rounds down
+  EXPECT_EQ(Duration::from_ms(-1.5).ns(), -1'500'000);
+}
+
+TEST(Duration, ArithmeticIsExactInteger) {
+  const Duration a = 100_ms;
+  const Duration b = 33_ms;
+  EXPECT_EQ((a + b).ns(), 133'000'000);
+  EXPECT_EQ((a - b).ns(), 67'000'000);
+  EXPECT_EQ((a * 3).ns(), 300'000'000);
+  EXPECT_EQ(a / b, 3);
+  EXPECT_EQ((a % b).ns(), 1'000'000);
+  EXPECT_EQ((-b).ns(), -33'000'000);
+}
+
+TEST(Duration, ComparisonAndPredicates) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_TRUE(Duration::zero().is_zero());
+  EXPECT_TRUE((1_ns).is_positive());
+  EXPECT_TRUE((Duration::zero() - 1_ns).is_negative());
+  EXPECT_EQ(Duration::max().ns(), INT64_MAX);
+}
+
+TEST(Duration, ScaledRounds) {
+  EXPECT_EQ((100_ms).scaled(1.4).ns(), 140'000'000);
+  EXPECT_EQ((3_ns).scaled(0.5).ns(), 2);     // 1.5 rounds up
+  EXPECT_EQ((-3_ns).scaled(0.5).ns(), -2);   // symmetric
+}
+
+TEST(Duration, ConversionAccessors) {
+  EXPECT_DOUBLE_EQ((1500_us).ms(), 1.5);
+  EXPECT_DOUBLE_EQ((2_s).sec(), 2.0);
+  EXPECT_DOUBLE_EQ((3_us).us(), 3.0);
+}
+
+TEST(TimePoint, ArithmeticWithDurations) {
+  const TimePoint t0 = TimePoint::zero();
+  const TimePoint t1 = t0 + 5_ms;
+  EXPECT_EQ((t1 - t0).ns(), 5'000'000);
+  EXPECT_EQ((t1 - 2_ms).ns(), 3'000'000);
+  EXPECT_LT(t0, t1);
+  TimePoint t2 = t1;
+  t2 += 1_ms;
+  EXPECT_EQ(t2.ns(), 6'000'000);
+}
+
+TEST(TimeFormatting, HumanReadableUnits) {
+  std::ostringstream oss;
+  oss << 1500_us << " " << 2_s << " " << 12_ns;
+  EXPECT_EQ(oss.str(), "1.500ms 2.000s 12ns");
+}
+
+}  // namespace
+}  // namespace rt

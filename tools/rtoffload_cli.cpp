@@ -1,0 +1,177 @@
+// rtoffload_cli -- run the offloading pipeline on a task set described in
+// JSON: build decisions (MCKP + Theorem 3), optionally verify with the
+// exact processor-demand analysis, simulate against a chosen server
+// scenario, and print a machine-readable JSON report.
+//
+// Usage:
+//   rtoffload_cli <taskset.json>        analyze + simulate the file
+//   rtoffload_cli --sample              print a sample task-set file
+//   rtoffload_cli                       run the built-in sample (demo)
+//
+// Top-level schema: {"tasks": [...], "config": {...}} where config accepts
+//   solver: "dp-profits" | "heu-oe" | "dp-weights"   (default dp-profits)
+//   scenario: "idle" | "not-busy" | "busy" | "dead"  (default not-busy)
+//   horizon_ms, seed, estimation_error, exact_pda (bool)
+// and each task follows core/serialization.hpp.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/odm.hpp"
+#include "core/schedulability.hpp"
+#include "core/serialization.hpp"
+#include "server/gpu_server.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+const char* kSampleFile = R"({
+  "config": {
+    "solver": "dp-profits",
+    "scenario": "not-busy",
+    "horizon_ms": 10000,
+    "seed": 1,
+    "estimation_error": 0.0,
+    "exact_pda": true
+  },
+  "tasks": [
+    {
+      "name": "camera-pipeline",
+      "period_ms": 100,
+      "local_wcet_ms": 40,
+      "setup_wcet_ms": 4,
+      "benefit": [[0, 1.0], [20, 5.0], [50, 9.0]]
+    },
+    {
+      "name": "lidar-cluster",
+      "period_ms": 200,
+      "local_wcet_ms": 60,
+      "setup_wcet_ms": 8,
+      "weight": 2.0,
+      "benefit": [[0, 2.0], [40, 6.0], [90, 12.0]]
+    },
+    {
+      "name": "control-loop",
+      "period_ms": 50,
+      "local_wcet_ms": 5,
+      "setup_wcet_ms": 1
+    }
+  ]
+})";
+
+rt::mckp::SolverKind parse_solver(const std::string& name) {
+  if (name == "dp-profits") return rt::mckp::SolverKind::kDpProfits;
+  if (name == "heu-oe") return rt::mckp::SolverKind::kHeuOe;
+  if (name == "dp-weights") return rt::mckp::SolverKind::kDpWeights;
+  throw std::invalid_argument("unknown solver '" + name + "'");
+}
+
+std::unique_ptr<rt::server::ResponseModel> parse_scenario(const std::string& name,
+                                                          std::uint64_t seed) {
+  using rt::server::Scenario;
+  if (name == "idle") return rt::server::make_scenario_server(Scenario::kIdle, seed);
+  if (name == "not-busy") {
+    return rt::server::make_scenario_server(Scenario::kNotBusy, seed);
+  }
+  if (name == "busy") return rt::server::make_scenario_server(Scenario::kBusy, seed);
+  if (name == "dead") return std::make_unique<rt::server::NeverResponds>();
+  throw std::invalid_argument("unknown scenario '" + name + "'");
+}
+
+int run(const std::string& text) {
+  using namespace rt;
+  const Json doc = Json::parse(text);
+  const core::TaskSet tasks = core::task_set_from_json(doc);
+
+  Json config = Json(Json::Object{});
+  if (doc.contains("config")) config = doc.at("config");
+
+  core::OdmConfig odm_cfg;
+  odm_cfg.solver = parse_solver(config.string_or("solver", "dp-profits"));
+  odm_cfg.estimation_error = config.number_or("estimation_error", 0.0);
+  const core::OdmResult odm = core::decide_offloading(tasks, odm_cfg);
+
+  Json::Object report;
+  report["feasible"] = odm.feasible;
+  report["theorem3_density"] = odm.density;
+  report["claimed_objective"] = odm.claimed_objective;
+  report["lp_bound"] = odm.lp_bound;
+  report["decisions"] = core::decisions_to_json(tasks, odm.decisions).at("decisions");
+
+  if (config.bool_or("exact_pda", false)) {
+    const core::PdaResult pda = core::pda_feasible(tasks, odm.decisions);
+    Json::Object pda_obj;
+    pda_obj["feasible"] = pda.feasible;
+    pda_obj["horizon_ms"] = pda.horizon.ms();
+    report["exact_pda"] = Json(std::move(pda_obj));
+  }
+
+  const auto seed = static_cast<std::uint64_t>(config.number_or("seed", 1));
+  auto srv = parse_scenario(config.string_or("scenario", "not-busy"), seed);
+  sim::SimConfig sim_cfg;
+  sim_cfg.horizon = Duration::from_ms(config.number_or("horizon_ms", 10'000.0));
+  sim_cfg.seed = seed;
+  const sim::SimResult res = sim::simulate(tasks, odm.decisions, *srv, sim_cfg);
+
+  Json::Object sim_obj;
+  sim_obj["released"] = static_cast<std::int64_t>(res.metrics.total_released());
+  sim_obj["completed"] = static_cast<std::int64_t>(res.metrics.total_completed());
+  sim_obj["deadline_misses"] =
+      static_cast<std::int64_t>(res.metrics.total_deadline_misses());
+  sim_obj["timely_results"] =
+      static_cast<std::int64_t>(res.metrics.total_timely_results());
+  sim_obj["compensations"] =
+      static_cast<std::int64_t>(res.metrics.total_compensations());
+  sim_obj["total_benefit"] = res.metrics.total_benefit();
+  sim_obj["cpu_utilization"] = res.metrics.cpu_utilization();
+  Json::Array per_task;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto& m = res.metrics.per_task[i];
+    Json::Object t;
+    t["task"] = tasks[i].name;
+    t["released"] = static_cast<std::int64_t>(m.released);
+    t["timely"] = static_cast<std::int64_t>(m.timely_results);
+    t["compensations"] = static_cast<std::int64_t>(m.compensations);
+    t["misses"] = static_cast<std::int64_t>(m.deadline_misses);
+    t["benefit"] = m.accrued_benefit;
+    per_task.push_back(Json(std::move(t)));
+  }
+  sim_obj["per_task"] = Json(std::move(per_task));
+  report["simulation"] = Json(std::move(sim_obj));
+
+  std::cout << Json(std::move(report)).dump(2) << "\n";
+  return res.metrics.total_deadline_misses() == 0 ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc >= 2 && std::string(argv[1]) == "--sample") {
+      std::cout << kSampleFile << "\n";
+      return 0;
+    }
+    if (argc >= 2 && (std::string(argv[1]) == "-h" ||
+                      std::string(argv[1]) == "--help")) {
+      std::cout << "usage: rtoffload_cli [taskset.json | --sample]\n"
+                   "With no arguments, runs the built-in sample task set.\n";
+      return 0;
+    }
+    if (argc >= 2) {
+      std::ifstream in(argv[1]);
+      if (!in) {
+        std::cerr << "error: cannot open '" << argv[1] << "'\n";
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      return run(buf.str());
+    }
+    std::cerr << "(no input file: running the built-in sample; see --help)\n";
+    return run(kSampleFile);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
