@@ -10,24 +10,22 @@
 // scenarios. The punchline the paper builds on: the greedy baseline wins
 // benefit on paper but misses deadlines; the ODM rows are the only ones
 // that maximize benefit AND stay at zero misses.
+//
+// The 20 sets x 4 policies x 3 scenarios = 240 simulations fan out across
+// exp::BatchRunner workers; each scenario clones its server prototype and
+// draws a seed derived from its index, so the totals are identical for any
+// --jobs-style worker count.
 
 #include <iostream>
 
 #include "core/odm.hpp"
 #include "core/schedulability.hpp"
 #include "core/workload.hpp"
+#include "exp/batch.hpp"
 #include "server/gpu_server.hpp"
 #include "sim/simulator.hpp"
 #include "util/table.hpp"
-
-namespace {
-
-struct PolicyRow {
-  const char* name;
-  rt::core::DecisionVector decisions;
-};
-
-}  // namespace
+#include "util/thread_pool.hpp"
 
 int main() {
   using namespace rt;
@@ -42,14 +40,14 @@ int main() {
                                         server::Scenario::kNotBusy,
                                         server::Scenario::kIdle};
 
-  // Accumulators [policy][scenario].
   constexpr int kPolicies = 4;
-  double benefit[kPolicies][3] = {};
-  std::uint64_t misses[kPolicies][3] = {};
-  std::uint64_t comps[kPolicies][3] = {};
+  constexpr int kScenarios = 3;
   const char* names[kPolicies] = {"all-local", "greedy [8]-style",
                                   "ODM heu-oe", "ODM dp (paper)"};
 
+  // One spec per (task set, policy, server scenario); tag = p*kScenarios+s
+  // keys the accumulator row so outcomes can arrive in any order.
+  std::vector<exp::ScenarioSpec> specs;
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
     Rng rng(seed);
     core::PaperSimConfig wl;
@@ -68,31 +66,48 @@ int main() {
     core::OdmConfig dp_cfg;
     dp_cfg.apply_task_weights = false;
 
-    PolicyRow policies[kPolicies] = {
-        {names[0], core::all_local(tasks.size())},
-        {names[1], core::greedy_local_choice(tasks)},
-        {names[2], core::decide_offloading(tasks, heu_cfg).decisions},
-        {names[3], core::decide_offloading(tasks, dp_cfg).decisions},
-    };
+    const core::DecisionVector fixed[2] = {core::all_local(tasks.size()),
+                                           core::greedy_local_choice(tasks)};
 
-    for (int p = 0; p < kPolicies; ++p) {
-      for (int s = 0; s < 3; ++s) {
-        auto srv = server::make_scenario_server(scenarios[s], seed * 10 + s);
-        sim::SimConfig cfg;
-        cfg.horizon = Duration::seconds(20);
-        cfg.seed = seed * 100 + static_cast<std::uint64_t>(s);
-        cfg.benefit_semantics = sim::BenefitSemantics::kTimelyCount;
-        const sim::SimResult res =
-            sim::simulate(tasks, policies[p].decisions, *srv, cfg);
-        benefit[p][s] += res.metrics.total_benefit();
-        misses[p][s] += res.metrics.total_deadline_misses();
-        comps[p][s] += res.metrics.total_compensations();
+    for (int s = 0; s < kScenarios; ++s) {
+      const std::shared_ptr<const server::ResponseModel> server =
+          server::make_scenario_server(scenarios[s], seed * 10 +
+                                                     static_cast<std::uint64_t>(s));
+      for (int p = 0; p < kPolicies; ++p) {
+        exp::ScenarioSpec spec;
+        spec.tasks = tasks;
+        if (p < 2) {
+          spec.decisions = fixed[p];
+        } else {
+          spec.odm = p == 2 ? heu_cfg : dp_cfg;
+        }
+        spec.server = server;
+        spec.sim.horizon = Duration::seconds(20);
+        spec.sim.benefit_semantics = sim::BenefitSemantics::kTimelyCount;
+        spec.tag = static_cast<std::uint64_t>(p * kScenarios + s);
+        specs.push_back(std::move(spec));
       }
     }
   }
 
+  exp::BatchConfig batch;
+  batch.jobs = util::default_jobs();
+  exp::BatchRunner runner(batch);
+  const std::vector<exp::ScenarioOutcome> outcomes = runner.run(specs);
+
+  double benefit[kPolicies][kScenarios] = {};
+  std::uint64_t misses[kPolicies][kScenarios] = {};
+  std::uint64_t comps[kPolicies][kScenarios] = {};
+  for (const exp::ScenarioOutcome& oc : outcomes) {
+    const int p = static_cast<int>(oc.tag) / kScenarios;
+    const int s = static_cast<int>(oc.tag) % kScenarios;
+    benefit[p][s] += oc.metrics.total_benefit();
+    misses[p][s] += oc.metrics.total_deadline_misses();
+    comps[p][s] += oc.metrics.total_compensations();
+  }
+
   for (int p = 0; p < kPolicies; ++p) {
-    for (int s = 0; s < 3; ++s) {
+    for (int s = 0; s < kScenarios; ++s) {
       table.add_row({names[p], server::to_string(scenarios[s]),
                      Table::fmt(benefit[p][s], 1), std::to_string(misses[p][s]),
                      std::to_string(comps[p][s])});
@@ -102,7 +117,7 @@ int main() {
 
   bool odm_safe = true;
   for (int p = 2; p < kPolicies; ++p) {
-    for (int s = 0; s < 3; ++s) odm_safe &= misses[p][s] == 0;
+    for (int s = 0; s < kScenarios; ++s) odm_safe &= misses[p][s] == 0;
   }
   std::cout << "\nShape: the ODM rows must show ZERO misses ("
             << (odm_safe ? "yes" : "VIOLATED")

@@ -1,0 +1,38 @@
+// Throughput of the parallel scenario-sweep engine (google-benchmark).
+//
+// BM_BatchSweep runs the same Figure-3 grid (9 errors x 2 solvers =
+// 18 scenarios, short horizon) at 1/2/4/8 workers. Scenarios are
+// embarrassingly parallel -- each owns its Rng and a cloned ResponseModel --
+// so on an N-core machine throughput should scale close to N until the
+// scenario count stops dividing evenly. On a single-core container the
+// worker counts tie; the `scenarios_per_sec` counter is the figure of merit.
+//
+// Results are bit-identical across worker counts (see
+// tests/exp/test_batch_determinism.cpp); this file only measures speed.
+
+#include <benchmark/benchmark.h>
+
+#include "exp/sweep.hpp"
+
+namespace {
+
+void BM_BatchSweep(benchmark::State& state) {
+  rt::exp::Fig3SweepConfig cfg;
+  cfg.workload.num_tasks = 12;
+  cfg.horizon = rt::Duration::seconds(20);
+  cfg.batch.jobs = static_cast<unsigned>(state.range(0));
+  const std::size_t scenarios = cfg.errors.size() * cfg.solvers.size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::exp::run_fig3_sweep(cfg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scenarios));
+  state.counters["scenarios_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * scenarios),
+      benchmark::Counter::kIsRate);
+  state.counters["jobs"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_BatchSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -14,118 +14,60 @@
 // discrete-event simulation where the server's response distribution is the
 // true G_i. Everything is normalized to the perfect-estimation DP value.
 //
+// The grid runs through exp::run_fig3_sweep -- the parallel BatchRunner
+// with deterministic per-scenario seeding -- so the table is bit-identical
+// for every worker count.
+//
 // Expected shape: maximum at x = 0, monotone-ish decay to both sides,
 // DP >= HEU-OE, zero deadline misses for every x (the guarantee).
 
 #include <iostream>
 
-#include "core/odm.hpp"
-#include "core/workload.hpp"
-#include "sim/benefit_response.hpp"
-#include "sim/simulator.hpp"
+#include "exp/sweep.hpp"
 #include "util/table.hpp"
-
-namespace {
-
-struct Outcome {
-  double analytic = 0.0;
-  double simulated = 0.0;  // timely results per hyper-ish second, scaled below
-  std::uint64_t misses = 0;
-};
-
-Outcome evaluate(const rt::core::TaskSet& tasks, double error,
-                 rt::mckp::SolverKind solver, std::uint64_t seed) {
-  using namespace rt;
-  core::OdmConfig cfg;
-  cfg.solver = solver;
-  cfg.estimation_error = error;
-  cfg.apply_task_weights = false;
-  cfg.profit_scale = 1000.0;
-  const core::OdmResult odm = core::decide_offloading(tasks, cfg);
-
-  Outcome out;
-  // Analytic: expected timely higher-performance results per job wave.
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    if (odm.decisions[i].offloaded()) {
-      out.analytic +=
-          tasks[i].benefit.value_at(odm.decisions[i].response_time);
-    }
-  }
-
-  // Simulated: per-task inverse-CDF server; count timely results and divide
-  // by the number of job waves to land on the same per-wave scale.
-  std::vector<core::BenefitFunction> gs;
-  gs.reserve(tasks.size());
-  for (const auto& t : tasks) gs.push_back(t.benefit);
-  sim::BenefitDrivenResponse srv(std::move(gs));
-
-  sim::SimConfig sim_cfg;
-  sim_cfg.horizon = Duration::seconds(200);
-  sim_cfg.seed = seed;
-  sim_cfg.benefit_semantics = sim::BenefitSemantics::kTimelyCount;
-  const sim::SimResult res = sim::simulate(tasks, odm.decisions, srv, sim_cfg);
-  out.misses = res.metrics.total_deadline_misses();
-
-  double benefit_per_wave = 0.0;
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    const auto& m = res.metrics.per_task[i];
-    if (m.released > 0) {
-      benefit_per_wave +=
-          m.accrued_benefit / static_cast<double>(m.released);
-    }
-  }
-  out.simulated = benefit_per_wave;
-  return out;
-}
-
-}  // namespace
+#include "util/thread_pool.hpp"
 
 int main() {
   using namespace rt;
   std::cout << "=== Figure 3: normalized total benefit vs estimation "
                "accuracy ratio ===\n\n";
 
-  Rng rng(20140601);
-  const core::TaskSet tasks = core::make_paper_simulation_taskset(rng);
+  exp::Fig3SweepConfig cfg;
+  cfg.batch.jobs = util::default_jobs();
+  const exp::Fig3SweepResult sweep = exp::run_fig3_sweep(cfg);
 
-  const double baseline =
-      evaluate(tasks, 0.0, mckp::SolverKind::kDpProfits, 1).analytic;
-  if (baseline <= 0.0) {
+  const exp::Fig3Cell& base = sweep.cell(0.0, mckp::SolverKind::kDpProfits);
+  if (base.analytic <= 0.0) {
     std::cerr << "baseline benefit is zero -- workload misconfigured\n";
     return 1;
   }
-  const double sim_baseline =
-      evaluate(tasks, 0.0, mckp::SolverKind::kDpProfits, 1).simulated;
 
   Table table({"accuracy ratio x", "DP (analytic)", "HEU-OE (analytic)",
                "DP (simulated)", "HEU-OE (simulated)"});
-  std::uint64_t total_misses = 0;
   double dp_at_zero = 0.0, dp_at_edge = 1e9;
-  for (int pct = -40; pct <= 40; pct += 10) {
-    const double x = pct / 100.0;
-    const Outcome dp =
-        evaluate(tasks, x, mckp::SolverKind::kDpProfits, 100 + pct);
-    const Outcome heu = evaluate(tasks, x, mckp::SolverKind::kHeuOe, 200 + pct);
-    total_misses += dp.misses + heu.misses;
-    if (pct == 0) dp_at_zero = dp.analytic / baseline;
+  for (const double x : cfg.errors) {
+    const exp::Fig3Cell& dp = sweep.cell(x, mckp::SolverKind::kDpProfits);
+    const exp::Fig3Cell& heu = sweep.cell(x, mckp::SolverKind::kHeuOe);
+    const int pct = static_cast<int>(x * 100.0 + (x < 0 ? -0.5 : 0.5));
+    if (pct == 0) dp_at_zero = dp.analytic / base.analytic;
     if (pct == -40 || pct == 40) {
-      dp_at_edge = std::min(dp_at_edge, dp.analytic / baseline);
+      dp_at_edge = std::min(dp_at_edge, dp.analytic / base.analytic);
     }
     table.add_row({std::to_string(pct) + "%",
-                   Table::fmt(dp.analytic / baseline),
-                   Table::fmt(heu.analytic / baseline),
-                   Table::fmt(dp.simulated / sim_baseline),
-                   Table::fmt(heu.simulated / sim_baseline)});
+                   Table::fmt(dp.analytic / base.analytic),
+                   Table::fmt(heu.analytic / base.analytic),
+                   Table::fmt(dp.simulated / base.simulated),
+                   Table::fmt(heu.simulated / base.simulated)});
   }
   table.print(std::cout);
 
-  std::cout << "\nDeadline misses across all runs (must be 0): " << total_misses
-            << "\n"
+  std::cout << "\nDeadline misses across all runs (must be 0): "
+            << sweep.total_misses << "\n"
             << "Shape: peak at x = 0 (" << Table::fmt(dp_at_zero)
             << "), degraded at the +/-40% edges (min " << Table::fmt(dp_at_edge)
             << ").\nAt x = 0 the DP is provably at least the heuristic; under "
                "estimation error both optimize a *wrong* objective, so either "
                "can come out ahead on true benefit -- exactly the paper's "
                "point that the estimate quality, not the solver, dominates.\n";
-  return total_misses == 0 ? 0 : 1;
+  return sweep.total_misses == 0 ? 0 : 1;
 }

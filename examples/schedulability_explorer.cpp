@@ -10,10 +10,24 @@
 // Build & run:  ./build/examples/schedulability_explorer
 
 #include <iostream>
+#include <vector>
 
 #include "core/deadline.hpp"
 #include "core/schedulability.hpp"
+#include "exp/batch.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+// One printed line of the sweep, computed independently per R.
+struct SweepRow {
+  rt::Duration r;
+  std::vector<std::string> cells;
+  bool thm3_feasible = false;
+};
+
+}  // namespace
 
 int main() {
   using namespace rt;
@@ -43,8 +57,16 @@ int main() {
 
   Table table({"R", "benefit G(R)", "D1", "D2", "Thm3 density", "Thm3",
                "exact PDA"});
-  Duration last_feasible = Duration::zero();
-  for (int r_ms = 0; r_ms <= 190; r_ms += 10) {
+
+  // Each R is an independent feasibility question; fan the rows across the
+  // BatchRunner workers (the exact PDA is the costly part) and print them
+  // in order afterwards.
+  std::vector<SweepRow> rows(20);
+  exp::BatchConfig batch;
+  batch.jobs = util::default_jobs();
+  exp::BatchRunner runner(batch);
+  runner.for_each(rows.size(), [&](std::size_t i, Rng&) {
+    const int r_ms = static_cast<int>(i) * 10;
     const Duration r = Duration::milliseconds(r_ms);
     core::DecisionVector ds = core::all_local(tasks.size());
     std::size_t level = 0;
@@ -58,7 +80,6 @@ int main() {
     const UtilFp density = core::total_density(tasks, ds);
     const bool t3 = core::theorem3_feasible(tasks, ds);
     const bool pda = core::pda_feasible(tasks, ds).feasible;
-    if (t3) last_feasible = r;
 
     std::string d1 = "-", d2 = "-";
     if (r_ms > 0) {
@@ -66,10 +87,18 @@ int main() {
       d1 = split.d1.to_string();
       d2 = split.d2.to_string();
     }
-    table.add_row({r.to_string(), Table::fmt(tasks[3].benefit.value_at(r), 2),
-                   d1, d2,
-                   density.is_saturated() ? "inf" : Table::fmt(density.to_double(), 3),
-                   t3 ? "feasible" : "-", pda ? "feasible" : "-"});
+    rows[i] = SweepRow{
+        r,
+        {r.to_string(), Table::fmt(tasks[3].benefit.value_at(r), 2), d1, d2,
+         density.is_saturated() ? "inf" : Table::fmt(density.to_double(), 3),
+         t3 ? "feasible" : "-", pda ? "feasible" : "-"},
+        t3};
+  });
+
+  Duration last_feasible = Duration::zero();
+  for (SweepRow& row : rows) {
+    if (row.thm3_feasible) last_feasible = row.r;
+    table.add_row(std::move(row.cells));
   }
   table.print(std::cout);
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace rt::core {
 
 OdmInstance build_odm_instance(const TaskSet& tasks, const OdmConfig& config) {
@@ -114,6 +116,19 @@ OdmResult decide_offloading(const TaskSet& tasks, const OdmConfig& config) {
   res.feasible = theorem3_feasible(tasks, res.decisions);
   res.density = total_density(tasks, res.decisions).to_double();
   return res;
+}
+
+std::vector<OdmResult> decide_offloading_batch(const std::vector<TaskSet>& sets,
+                                               const OdmConfig& config,
+                                               unsigned jobs) {
+  std::vector<OdmResult> out(sets.size());
+  util::parallel_for(sets.size(), jobs,
+                     [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         out[i] = decide_offloading(sets[i], config);
+                       }
+                     });
+  return out;
 }
 
 DecisionVector greedy_local_choice(const TaskSet& tasks, double estimation_error) {

@@ -25,7 +25,9 @@ struct OdmConfig {
   /// Dudzinski-Walukiewicz DP, and kHeuOe).
   mckp::SolverKind solver = mckp::SolverKind::kDpProfits;
   /// Profit discretization for the DP (benefit units per 1.0 of G).
-  double profit_scale = 1000.0;
+  /// Shares mckp::kDefaultProfitScale with the solver defaults so the two
+  /// layers cannot drift apart.
+  double profit_scale = mckp::kDefaultProfitScale;
   /// Multiply each task's benefit by its importance weight in the objective
   /// (the case study's weighted image quality).
   bool apply_task_weights = true;
@@ -74,6 +76,15 @@ OdmInstance build_odm_instance(const TaskSet& tasks, const OdmConfig& config);
 /// Theorem 3 (defense in depth: a buggy solver must not break timing
 /// safety -- an infeasible selection degrades to all-local).
 OdmResult decide_offloading(const TaskSet& tasks, const OdmConfig& config = {});
+
+/// Batch ODM entry point: decide for many task sets under one config,
+/// optionally across `jobs` worker threads (0 = hardware concurrency).
+/// Results are index-aligned with `sets` and identical for every jobs
+/// value: decisions are pure functions of (task set, config), and the DP
+/// workspace the solver reuses is per-thread.
+std::vector<OdmResult> decide_offloading_batch(const std::vector<TaskSet>& sets,
+                                               const OdmConfig& config = {},
+                                               unsigned jobs = 1);
 
 /// Baseline (Nimmagadda et al. [8] style): each task independently picks
 /// its highest benefit level whose estimated response time fits its

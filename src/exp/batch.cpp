@@ -1,0 +1,67 @@
+#include "exp/batch.hpp"
+
+namespace rt::exp {
+
+std::uint64_t scenario_seed(std::uint64_t base_seed, std::size_t index) {
+  // splitmix64 over base + (index+1)*golden-ratio; the +1 keeps scenario 0
+  // from degenerating to the raw base seed.
+  std::uint64_t z = base_seed +
+                    0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+BatchRunner::BatchRunner(BatchConfig config) : config_(config) {
+  jobs_ = config_.jobs == 0 ? util::default_jobs() : config_.jobs;
+  if (jobs_ > 1) pool_ = std::make_unique<util::ThreadPool>(jobs_);
+}
+
+BatchRunner::~BatchRunner() = default;
+
+ScenarioOutcome BatchRunner::run_one(const ScenarioSpec& spec,
+                                     std::size_t index) const {
+  ScenarioOutcome out;
+  out.index = index;
+  out.tag = spec.tag;
+  if (spec.decisions.has_value()) {
+    out.decisions = *spec.decisions;
+  } else {
+    out.odm = core::decide_offloading(spec.tasks, spec.odm);
+    out.decisions = out.odm.decisions;
+  }
+  if (spec.server != nullptr) {
+    const std::unique_ptr<server::ResponseModel> srv = spec.server->clone();
+    sim::SimConfig cfg = spec.sim;
+    cfg.seed = scenario_seed(config_.base_seed, index);
+    const sim::SimResult res =
+        sim::simulate(spec.tasks, out.decisions, *srv, cfg, spec.profile);
+    out.metrics = res.metrics;
+  }
+  return out;
+}
+
+std::vector<ScenarioOutcome> BatchRunner::run(
+    const std::vector<ScenarioSpec>& specs) {
+  std::vector<ScenarioOutcome> out(specs.size());
+  for_each(specs.size(),
+           [&](std::size_t i, Rng&) { out[i] = run_one(specs[i], i); });
+  return out;
+}
+
+void BatchRunner::for_each(std::size_t n,
+                           const std::function<void(std::size_t, Rng&)>& body) {
+  const auto chunk_body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Rng rng(scenario_seed(config_.base_seed, i));
+      body(i, rng);
+    }
+  };
+  if (pool_ != nullptr) {
+    util::parallel_for(*pool_, n, chunk_body);
+  } else {
+    util::parallel_for(n, 1, chunk_body);
+  }
+}
+
+}  // namespace rt::exp

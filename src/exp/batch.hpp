@@ -1,0 +1,108 @@
+#pragma once
+// Parallel batch evaluation of offloading scenarios.
+//
+// The paper's evaluation (Figure 3, Table 1, the ablations) is a design-
+// space sweep: hundreds of (task set x utilization x estimation error x
+// seed) scenarios, each running the ODM plus a discrete-event simulation.
+// Scenarios are independent, so BatchRunner fans them out across a fixed
+// worker pool while keeping results bit-identical for every worker count:
+//
+//   * per-scenario seeding -- every scenario's simulation seed is derived
+//     from (base_seed, scenario index) by scenario_seed(), never drawn
+//     from shared RNG state;
+//   * per-scenario isolation -- every scenario gets its own Rng and its
+//     own server::ResponseModel instance (the spec's prototype is
+//     clone()d), because neither is thread-safe;
+//   * index-addressed results -- workers write disjoint slots of a
+//     preallocated vector, so the schedule cannot reorder anything.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/decision.hpp"
+#include "core/odm.hpp"
+#include "core/task.hpp"
+#include "server/response_model.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rt::exp {
+
+struct BatchConfig {
+  /// Worker threads; 1 = serial in the calling thread, 0 = hardware
+  /// concurrency.
+  unsigned jobs = 1;
+  /// Root of the per-scenario seed derivation.
+  std::uint64_t base_seed = 1;
+};
+
+/// Deterministic per-scenario seed: splitmix64-style mix of the base seed
+/// and the scenario index. Identical for every worker count by
+/// construction.
+std::uint64_t scenario_seed(std::uint64_t base_seed, std::size_t index);
+
+/// One scenario: a task set, how to decide, and what to simulate against.
+struct ScenarioSpec {
+  core::TaskSet tasks;
+  /// ODM configuration used when `decisions` is not set.
+  core::OdmConfig odm;
+  /// Pre-computed decisions (baseline policies); bypasses the ODM.
+  std::optional<core::DecisionVector> decisions;
+  /// Server prototype, clone()d per scenario; may be shared by many specs.
+  /// nullptr skips the simulation (ODM-only sweeps).
+  std::shared_ptr<const server::ResponseModel> server;
+  /// Simulation parameters. `sim.seed` is ignored and replaced by
+  /// scenario_seed(base_seed, index).
+  sim::SimConfig sim;
+  sim::RequestProfile profile;
+  /// Opaque caller bookkeeping (e.g. grid coordinates), copied to the
+  /// outcome.
+  std::uint64_t tag = 0;
+};
+
+struct ScenarioOutcome {
+  std::size_t index = 0;
+  std::uint64_t tag = 0;
+  /// Full ODM result; default-constructed when the spec supplied
+  /// decisions.
+  core::OdmResult odm;
+  /// The decisions actually simulated.
+  core::DecisionVector decisions;
+  /// Default-constructed (empty per_task) when the spec had no server.
+  sim::SimMetrics metrics;
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchConfig config = {});
+  ~BatchRunner();
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+  [[nodiscard]] const BatchConfig& config() const { return config_; }
+
+  /// Evaluates every spec (decide -> clone server -> simulate -> metrics);
+  /// results are index-aligned with `specs`.
+  std::vector<ScenarioOutcome> run(const std::vector<ScenarioSpec>& specs);
+
+  /// Generic fan-out for custom per-scenario work: body(index, rng) runs
+  /// once per index in [0, n) with an Rng seeded by scenario_seed(). The
+  /// body must only touch per-index state (or synchronize itself).
+  void for_each(std::size_t n,
+                const std::function<void(std::size_t, Rng&)>& body);
+
+ private:
+  ScenarioOutcome run_one(const ScenarioSpec& spec, std::size_t index) const;
+
+  BatchConfig config_;
+  unsigned jobs_ = 1;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< null when jobs_ == 1
+};
+
+}  // namespace rt::exp

@@ -1,0 +1,78 @@
+#include "exp/sweep.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "sim/benefit_response.hpp"
+
+namespace rt::exp {
+
+const Fig3Cell& Fig3SweepResult::cell(double error,
+                                      mckp::SolverKind solver) const {
+  for (const Fig3Cell& c : cells) {
+    if (c.error == error && c.solver == solver) return c;
+  }
+  throw std::out_of_range("Fig3SweepResult: no such cell");
+}
+
+Fig3SweepResult run_fig3_sweep(const Fig3SweepConfig& config) {
+  Rng rng(config.taskset_seed);
+  const core::TaskSet tasks =
+      core::make_paper_simulation_taskset(rng, config.workload);
+  return run_fig3_sweep(tasks, config);
+}
+
+Fig3SweepResult run_fig3_sweep(const core::TaskSet& tasks,
+                               const Fig3SweepConfig& config) {
+  // The true response distribution is the benefit function itself; one
+  // stateless prototype is shared by all specs and cloned per scenario.
+  std::vector<core::BenefitFunction> gs;
+  gs.reserve(tasks.size());
+  for (const auto& t : tasks) gs.push_back(t.benefit);
+  const auto server =
+      std::make_shared<const sim::BenefitDrivenResponse>(std::move(gs));
+
+  std::vector<ScenarioSpec> specs;
+  specs.reserve(config.errors.size() * config.solvers.size());
+  for (const double error : config.errors) {
+    for (const mckp::SolverKind solver : config.solvers) {
+      ScenarioSpec spec;
+      spec.tasks = tasks;
+      spec.odm.solver = solver;
+      spec.odm.estimation_error = error;
+      spec.odm.apply_task_weights = false;
+      spec.server = server;
+      spec.sim.horizon = config.horizon;
+      spec.sim.benefit_semantics = sim::BenefitSemantics::kTimelyCount;
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  BatchRunner runner(config.batch);
+  const std::vector<ScenarioOutcome> outcomes = runner.run(specs);
+
+  Fig3SweepResult result;
+  result.cells.reserve(outcomes.size());
+  for (const ScenarioOutcome& oc : outcomes) {
+    Fig3Cell cell;
+    cell.error = config.errors[oc.index / config.solvers.size()];
+    cell.solver = config.solvers[oc.index % config.solvers.size()];
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (oc.decisions[i].offloaded()) {
+        cell.analytic +=
+            tasks[i].benefit.value_at(oc.decisions[i].response_time);
+      }
+      const auto& m = oc.metrics.per_task[i];
+      if (m.released > 0) {
+        cell.simulated +=
+            m.accrued_benefit / static_cast<double>(m.released);
+      }
+    }
+    cell.misses = oc.metrics.total_deadline_misses();
+    result.total_misses += cell.misses;
+    result.cells.push_back(cell);
+  }
+  return result;
+}
+
+}  // namespace rt::exp

@@ -1,0 +1,64 @@
+#pragma once
+// Ready-made design-space sweeps built on BatchRunner.
+//
+// The Figure 3 sweep (paper Section 6.2) is the canonical workload: one
+// random task set, a grid of (estimation accuracy ratio x solver), each
+// cell running the ODM plus a discrete-event simulation against the
+// benefit-derived response distribution. bench_fig3_accuracy, the
+// BM_BatchSweep throughput benchmark and the batch-determinism test all
+// share this code path.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/task.hpp"
+#include "core/workload.hpp"
+#include "exp/batch.hpp"
+#include "mckp/solvers.hpp"
+#include "util/time.hpp"
+
+namespace rt::exp {
+
+struct Fig3SweepConfig {
+  core::PaperSimConfig workload;
+  /// Seed of the task-set generator (one task set for the whole sweep).
+  std::uint64_t taskset_seed = 20140601;
+  /// Estimation accuracy ratios x (paper: -40% .. +40%).
+  std::vector<double> errors = {-0.4, -0.3, -0.2, -0.1, 0.0,
+                                0.1,  0.2,  0.3,  0.4};
+  std::vector<mckp::SolverKind> solvers = {mckp::SolverKind::kDpProfits,
+                                           mckp::SolverKind::kHeuOe};
+  Duration horizon = Duration::seconds(200);
+  BatchConfig batch;
+};
+
+/// One (error, solver) grid cell.
+struct Fig3Cell {
+  double error = 0.0;
+  mckp::SolverKind solver = mckp::SolverKind::kDpProfits;
+  /// Analytic expected timely higher-performance results per job wave:
+  /// sum_i G_i(R_i) over the offloaded decisions.
+  double analytic = 0.0;
+  /// Simulated timely-result benefit per job wave.
+  double simulated = 0.0;
+  std::uint64_t misses = 0;
+};
+
+struct Fig3SweepResult {
+  /// Row-major: errors outer, solvers inner (matching the config order).
+  std::vector<Fig3Cell> cells;
+  std::uint64_t total_misses = 0;
+
+  /// The cell for (error, solver); throws std::out_of_range when absent.
+  [[nodiscard]] const Fig3Cell& cell(double error,
+                                     mckp::SolverKind solver) const;
+};
+
+/// Generates the task set from config.taskset_seed and sweeps the grid.
+Fig3SweepResult run_fig3_sweep(const Fig3SweepConfig& config);
+
+/// Same sweep over a caller-provided task set.
+Fig3SweepResult run_fig3_sweep(const core::TaskSet& tasks,
+                               const Fig3SweepConfig& config);
+
+}  // namespace rt::exp

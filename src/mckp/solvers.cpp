@@ -82,7 +82,8 @@ Selection solve_brute_force(const Instance& inst) {
   return best;
 }
 
-Selection solve_dp_profits(const Instance& inst, double profit_scale) {
+Selection solve_dp_profits(const Instance& inst, double profit_scale,
+                           DpWorkspace* ws) {
   inst.validate();
   if (!(profit_scale > 0.0)) {
     throw std::invalid_argument("solve_dp_profits: profit_scale must be > 0");
@@ -94,62 +95,101 @@ Selection solve_dp_profits(const Instance& inst, double profit_scale) {
     return empty;
   }
 
-  // Discretize profits.
-  std::vector<std::vector<std::int64_t>> q(m);
+  thread_local DpWorkspace shared_ws;
+  DpWorkspace& w = ws != nullptr ? *ws : shared_ws;
+
+  // Plain-dominance reduction + profit discretization. A dominated item
+  // (another item with <= weight and >= profit, one strict) can never
+  // improve the DP's final (max fitting profit, min weight) answer, so the
+  // DP only visits the undominated subset of each class.
+  w.q.clear();
+  w.wt.clear();
+  w.item_of.clear();
+  w.class_begin.assign(1, 0);
   std::int64_t total_q = 0;
+  std::int64_t min_weight_sum = 0;
   for (std::size_t c = 0; c < m; ++c) {
+    const ReducedClass red = reduce_class(inst.classes[c]);
     std::int64_t qmax = 0;
-    q[c].reserve(inst.classes[c].size());
-    for (const auto& item : inst.classes[c]) {
-      const auto v = static_cast<std::int64_t>(std::llround(item.profit * profit_scale));
-      q[c].push_back(v);
+    for (const int idx : red.undominated) {
+      const Item& item = inst.classes[c][static_cast<std::size_t>(idx)];
+      const auto v =
+          static_cast<std::int64_t>(std::llround(item.profit * profit_scale));
+      w.q.push_back(v);
+      w.wt.push_back(item.weight);
+      w.item_of.push_back(idx);
       qmax = std::max(qmax, v);
     }
+    w.class_begin.push_back(w.q.size());
+    // undominated.front() is the min-weight item of the class.
+    min_weight_sum = add_weight_sat(
+        min_weight_sum,
+        inst.classes[c][static_cast<std::size_t>(red.undominated.front())].weight);
     total_q += qmax;
   }
-  if (total_q > 50'000'000 ||
-      static_cast<double>(total_q + 1) * static_cast<double>(m) > 4e8) {
+  if (min_weight_sum > inst.capacity) return min_weight_selection(inst);
+
+  // Truncate the profit axis with the LP relaxation (Dantzig) bound: a
+  // feasible selection's true profit is <= ub, so its scaled profit is
+  // <= ub*scale + m/2 (each llround adds at most 0.5). Every prefix sum of
+  // a feasible selection stays under that cap (profits are >= 0), so DP
+  // cells above it can only be reached by provably infeasible selections.
+  std::int64_t axis = total_q;
+  const double ub = lp_upper_bound(inst);
+  // min_weight_sum fits, so the bound is finite; guard anyway against
+  // pathological scales before the double -> int64 conversion.
+  const double scaled_ub = ub * profit_scale + 0.5 * static_cast<double>(m) + 1.0;
+  if (std::isfinite(scaled_ub) && scaled_ub < static_cast<double>(total_q) &&
+      scaled_ub < 9e15) {
+    axis = std::max<std::int64_t>(
+        0, static_cast<std::int64_t>(std::llround(scaled_ub)));
+  }
+  if (axis > 50'000'000 ||
+      static_cast<double>(axis + 1) * static_cast<double>(m) > 4e8) {
     throw std::invalid_argument(
         "solve_dp_profits: scaled profit space too large; lower profit_scale");
   }
 
-  const auto P = static_cast<std::size_t>(total_q);
-  std::vector<std::int64_t> dp(P + 1, kInfWeight);
-  // choice[c][p]: item picked in class c on the min-weight path reaching
-  // scaled profit p after processing classes 0..c. -1 = unreachable.
-  std::vector<std::vector<std::int32_t>> choice(
-      m, std::vector<std::int32_t>(P + 1, -1));
+  const auto P = static_cast<std::size_t>(axis);
+  w.dp.assign(P + 1, kInfWeight);
+  w.next.resize(P + 1);
+  // choice[c*(P+1) + p]: flat kept-item index picked in class c on the
+  // min-weight path reaching scaled profit p after classes 0..c; -1 =
+  // unreachable.
+  w.choice.assign(m * (P + 1), -1);
 
-  for (std::size_t j = 0; j < inst.classes[0].size(); ++j) {
-    const auto p = static_cast<std::size_t>(q[0][j]);
-    const std::int64_t w = inst.classes[0][j].weight;
-    if (w < dp[p]) {
-      dp[p] = w;
-      choice[0][p] = static_cast<std::int32_t>(j);
+  for (std::size_t k = w.class_begin[0]; k < w.class_begin[1]; ++k) {
+    if (w.q[k] > axis) continue;  // above the LP cap: infeasible anyway
+    const auto p = static_cast<std::size_t>(w.q[k]);
+    if (w.wt[k] < w.dp[p]) {
+      w.dp[p] = w.wt[k];
+      w.choice[p] = static_cast<std::int32_t>(k);
     }
   }
 
-  std::vector<std::int64_t> next(P + 1);
   for (std::size_t c = 1; c < m; ++c) {
-    std::fill(next.begin(), next.end(), kInfWeight);
+    std::fill(w.next.begin(), w.next.end(), kInfWeight);
+    std::int32_t* const row = w.choice.data() + c * (P + 1);
     for (std::size_t p = 0; p <= P; ++p) {
-      if (dp[p] >= kInfWeight) continue;
-      for (std::size_t j = 0; j < inst.classes[c].size(); ++j) {
-        const auto tgt = p + static_cast<std::size_t>(q[c][j]);
-        const std::int64_t w = add_weight_sat(dp[p], inst.classes[c][j].weight);
-        if (w < next[tgt]) {
-          next[tgt] = w;
-          choice[c][tgt] = static_cast<std::int32_t>(j);
+      if (w.dp[p] >= kInfWeight) continue;
+      for (std::size_t k = w.class_begin[c]; k < w.class_begin[c + 1]; ++k) {
+        const std::int64_t tgt64 = static_cast<std::int64_t>(p) + w.q[k];
+        if (tgt64 > axis) continue;
+        const auto tgt = static_cast<std::size_t>(tgt64);
+        const std::int64_t weight = add_weight_sat(w.dp[p], w.wt[k]);
+        if (weight < w.next[tgt]) {
+          w.next[tgt] = weight;
+          row[tgt] = static_cast<std::int32_t>(k);
         }
       }
     }
-    dp.swap(next);
+    w.dp.swap(w.next);
   }
 
   // Largest scaled profit whose minimal weight fits the capacity.
   std::ptrdiff_t best_p = -1;
   for (std::size_t p = 0; p <= P; ++p) {
-    if (dp[p] <= inst.capacity) best_p = static_cast<std::ptrdiff_t>(p);
+    if (w.dp[p] <= inst.capacity) best_p = static_cast<std::ptrdiff_t>(p);
   }
   if (best_p < 0) return min_weight_selection(inst);
 
@@ -157,10 +197,10 @@ Selection solve_dp_profits(const Instance& inst, double profit_scale) {
   std::vector<int> pick(m, -1);
   auto p = static_cast<std::size_t>(best_p);
   for (std::size_t c = m; c-- > 0;) {
-    const std::int32_t j = choice[c][p];
-    if (j < 0) throw std::logic_error("solve_dp_profits: broken DP path");
-    pick[c] = j;
-    p -= static_cast<std::size_t>(q[c][static_cast<std::size_t>(j)]);
+    const std::int32_t k = w.choice[c * (P + 1) + p];
+    if (k < 0) throw std::logic_error("solve_dp_profits: broken DP path");
+    pick[c] = w.item_of[static_cast<std::size_t>(k)];
+    p -= static_cast<std::size_t>(w.q[static_cast<std::size_t>(k)]);
   }
   return evaluate(inst, std::move(pick));
 }
@@ -385,9 +425,10 @@ double lp_upper_bound(const Instance& inst) {
   return profit;
 }
 
-Selection solve(const Instance& inst, SolverKind kind, double profit_scale) {
+Selection solve(const Instance& inst, SolverKind kind, double profit_scale,
+                DpWorkspace* ws) {
   switch (kind) {
-    case SolverKind::kDpProfits: return solve_dp_profits(inst, profit_scale);
+    case SolverKind::kDpProfits: return solve_dp_profits(inst, profit_scale, ws);
     case SolverKind::kDpWeights: return solve_dp_weights(inst);
     case SolverKind::kHeuOe: return solve_greedy_heu_oe(inst);
     case SolverKind::kBruteForce: return solve_brute_force(inst);

@@ -25,6 +25,29 @@ enum class SolverKind {
 
 const char* to_string(SolverKind kind);
 
+/// Default profit discretization for the profit DP (benefit units per 1.0
+/// of G). The single source of truth: core::OdmConfig and the solver
+/// defaults below both reference this constant so they cannot drift.
+inline constexpr double kDefaultProfitScale = 1000.0;
+
+/// Reusable scratch space for solve_dp_profits. The profit DP needs a
+/// (P+1)-entry weight table plus an m x (P+1) reconstruction table -- at
+/// paper scale that is megabytes, so the online ODM path (admission
+/// control, mode changes) reuses one workspace across calls instead of
+/// reallocating. A workspace serves one thread at a time; passing nullptr
+/// uses a per-thread (thread_local) workspace, which makes the plain call
+/// both allocation-free after warm-up and thread-safe. Contents are
+/// opaque scratch: valid only during a solve.
+struct DpWorkspace {
+  std::vector<std::int64_t> dp;      ///< min weight per scaled profit
+  std::vector<std::int64_t> next;    ///< double buffer for dp
+  std::vector<std::int32_t> choice;  ///< flat m x (P+1) reconstruction table
+  std::vector<std::int64_t> q;       ///< scaled profits of kept items, flat
+  std::vector<std::int64_t> wt;      ///< weights of kept items, flat
+  std::vector<std::int32_t> item_of; ///< original item index per kept item
+  std::vector<std::size_t> class_begin;  ///< m+1 offsets into q/wt/item_of
+};
+
 /// Exact enumeration. Complexity is the product of class sizes; intended as
 /// a test oracle for small instances. Throws std::invalid_argument when the
 /// search space exceeds ~20M combinations.
@@ -41,7 +64,16 @@ Selection solve_brute_force(const Instance& inst);
 ///
 /// Returns feasible=false iff even the minimal-weight selection exceeds the
 /// capacity (no valid assignment of one item per class fits).
-Selection solve_dp_profits(const Instance& inst, double profit_scale = 1000.0);
+///
+/// Fast paths (transparent to the result): plain-dominance reduction
+/// shrinks every class to its undominated items before the DP (safe for
+/// exact solvers, unlike the hull), and the profit axis is truncated at
+/// the LP relaxation upper bound plus rounding slack, so the table never
+/// grows past the achievable profit. `ws` supplies reusable buffers;
+/// nullptr selects a thread_local workspace.
+Selection solve_dp_profits(const Instance& inst,
+                           double profit_scale = kDefaultProfitScale,
+                           DpWorkspace* ws = nullptr);
 
 /// DP over a discretized capacity axis with `grid` cells. Item weights are
 /// rounded UP to the grid, so any selection reported feasible is truly
@@ -61,7 +93,10 @@ Selection solve_greedy_heu_oe(const Instance& inst);
 /// Any feasible selection's profit is <= this bound.
 double lp_upper_bound(const Instance& inst);
 
-/// Dispatch helper.
-Selection solve(const Instance& inst, SolverKind kind, double profit_scale = 1000.0);
+/// Dispatch helper. `ws` is forwarded to solve_dp_profits for kDpProfits
+/// (other solvers ignore it).
+Selection solve(const Instance& inst, SolverKind kind,
+                double profit_scale = kDefaultProfitScale,
+                DpWorkspace* ws = nullptr);
 
 }  // namespace rt::mckp

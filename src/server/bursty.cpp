@@ -24,6 +24,15 @@ void BurstyResponse::reset() {
   config_.burst->reset();
 }
 
+std::unique_ptr<ResponseModel> BurstyResponse::clone() const {
+  BurstyConfig cfg;
+  cfg.mean_calm_duration = config_.mean_calm_duration;
+  cfg.mean_burst_duration = config_.mean_burst_duration;
+  cfg.calm = config_.calm->clone();
+  cfg.burst = config_.burst->clone();
+  return std::make_unique<BurstyResponse>(std::move(cfg), seed_);
+}
+
 void BurstyResponse::advance_to(TimePoint t) {
   if (!primed_) {
     next_switch_ = TimePoint::zero() +

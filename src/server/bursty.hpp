@@ -34,6 +34,7 @@ class BurstyResponse final : public ResponseModel {
 
   Duration sample(const Request& req, Rng& rng) override;
   void reset() override;
+  std::unique_ptr<ResponseModel> clone() const override;
 
   /// Diagnostic: true when the state active at `t` is the burst state.
   /// Advances internal state like sample() does.

@@ -30,6 +30,10 @@ QueueingGpuServer::QueueingGpuServer(GpuServerConfig config,
                      TimePoint::zero());
 }
 
+std::unique_ptr<ResponseModel> QueueingGpuServer::clone() const {
+  return std::make_unique<QueueingGpuServer>(config_, seed_);
+}
+
 void QueueingGpuServer::reset() {
   bg_rng_ = Rng(seed_);
   std::fill(busy_until_.begin(), busy_until_.end(), TimePoint::zero());

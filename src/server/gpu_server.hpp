@@ -44,6 +44,10 @@ class QueueingGpuServer final : public ResponseModel {
 
   Duration sample(const Request& req, Rng& rng) override;
   void reset() override;
+  /// Fresh server with the same config and background seed: the clone
+  /// replays the identical background-arrival stream from time zero, so
+  /// per-scenario replicas of one prototype behave like a reset original.
+  std::unique_ptr<ResponseModel> clone() const override;
 
   [[nodiscard]] const GpuServerConfig& config() const { return config_; }
   /// Offered background utilization rho = lambda * E[S] / m (diagnostic).

@@ -43,6 +43,11 @@ class ResponseModel {
   virtual Duration sample(const Request& req, Rng& rng) = 0;
   /// Forget accumulated state (queue backlog); no-op for stateless models.
   virtual void reset() {}
+  /// Deep copy of this model *as configured*: same distribution parameters
+  /// and seeds, pristine (reset-equivalent) dynamic state. Models are not
+  /// thread-safe, so batch evaluation (exp::BatchRunner) replicates one
+  /// prototype into an independent instance per scenario.
+  [[nodiscard]] virtual std::unique_ptr<ResponseModel> clone() const = 0;
 };
 
 /// Deterministic response; the unit-test workhorse.
@@ -50,6 +55,9 @@ class FixedResponse final : public ResponseModel {
  public:
   explicit FixedResponse(Duration response) : response_(response) {}
   Duration sample(const Request&, Rng&) override { return response_; }
+  std::unique_ptr<ResponseModel> clone() const override {
+    return std::make_unique<FixedResponse>(response_);
+  }
 
  private:
   Duration response_;
@@ -59,6 +67,9 @@ class FixedResponse final : public ResponseModel {
 class NeverResponds final : public ResponseModel {
  public:
   Duration sample(const Request&, Rng&) override { return kNoResponse; }
+  std::unique_ptr<ResponseModel> clone() const override {
+    return std::make_unique<NeverResponds>();
+  }
 };
 
 /// Shifted log-normal: shift + LogN(mu, sigma) milliseconds, with an
@@ -69,6 +80,9 @@ class ShiftedLognormalResponse final : public ResponseModel {
   ShiftedLognormalResponse(Duration shift, double mu_log_ms, double sigma_log,
                            double drop_probability = 0.0);
   Duration sample(const Request& req, Rng& rng) override;
+  std::unique_ptr<ResponseModel> clone() const override {
+    return std::make_unique<ShiftedLognormalResponse>(*this);
+  }
 
  private:
   Duration shift_;
@@ -88,6 +102,9 @@ class BoundedResponse final : public ResponseModel {
 
   Duration sample(const Request& req, Rng& rng) override;
   void reset() override { inner_->reset(); }
+  std::unique_ptr<ResponseModel> clone() const override {
+    return std::make_unique<BoundedResponse>(inner_->clone(), bound_);
+  }
 
   [[nodiscard]] Duration bound() const { return bound_; }
 
@@ -103,6 +120,9 @@ class EmpiricalResponse final : public ResponseModel {
   explicit EmpiricalResponse(std::vector<Duration> samples,
                              double drop_probability = 0.0);
   Duration sample(const Request& req, Rng& rng) override;
+  std::unique_ptr<ResponseModel> clone() const override {
+    return std::make_unique<EmpiricalResponse>(*this);
+  }
 
  private:
   std::vector<Duration> samples_;

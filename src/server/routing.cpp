@@ -36,4 +36,11 @@ void RoutingResponse::reset() {
   for (auto& r : routes_) r->reset();
 }
 
+std::unique_ptr<ResponseModel> RoutingResponse::clone() const {
+  std::vector<std::unique_ptr<ResponseModel>> routes;
+  routes.reserve(routes_.size());
+  for (const auto& r : routes_) routes.push_back(r->clone());
+  return std::make_unique<RoutingResponse>(std::move(routes), route_of_stream_);
+}
+
 }  // namespace rt::server

@@ -25,6 +25,9 @@ class BenefitDrivenResponse final : public server::ResponseModel {
   explicit BenefitDrivenResponse(std::vector<core::BenefitFunction> per_stream);
 
   Duration sample(const server::Request& req, Rng& rng) override;
+  std::unique_ptr<server::ResponseModel> clone() const override {
+    return std::make_unique<BenefitDrivenResponse>(per_stream_);
+  }
 
  private:
   std::vector<core::BenefitFunction> per_stream_;

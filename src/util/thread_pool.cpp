@@ -1,0 +1,149 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace rt::util {
+
+unsigned default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = default_jobs();
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::scoped_lock lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      const std::scoped_lock lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    const std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+namespace {
+
+std::size_t pick_chunk(std::size_t n, unsigned jobs, std::size_t chunk) {
+  if (chunk > 0) return chunk;
+  return std::max<std::size_t>(1, n / (static_cast<std::size_t>(jobs) * 4));
+}
+
+}  // namespace
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t chunk) {
+  if (n == 0) return;
+  if (pool.size() <= 1 || n == 1) {
+    body(0, n);
+    return;
+  }
+  const std::size_t step = pick_chunk(n, pool.size(), chunk);
+  std::atomic<std::size_t> counter{0};
+  // One puller task per worker; wait_idle() below keeps `counter` and
+  // `body` alive until every puller has drained out.
+  for (unsigned t = 0; t < pool.size(); ++t) {
+    pool.submit([&counter, &body, n, step] {
+      for (;;) {
+        const std::size_t begin = counter.fetch_add(step);
+        if (begin >= n) return;
+        try {
+          body(begin, std::min(n, begin + step));
+        } catch (...) {
+          counter.store(n);  // stop handing out further chunks
+          throw;
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+}
+
+void parallel_for(std::size_t n, unsigned jobs,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t chunk) {
+  if (jobs == 0) jobs = default_jobs();
+  if (n == 0) return;
+  if (jobs <= 1 || n == 1) {
+    body(0, n);
+    return;
+  }
+  const std::size_t step = pick_chunk(n, jobs, chunk);
+  std::atomic<std::size_t> counter{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto work = [&] {
+    try {
+      for (;;) {
+        const std::size_t begin = counter.fetch_add(step);
+        if (begin >= n) return;
+        body(begin, std::min(n, begin + step));
+      }
+    } catch (...) {
+      const std::scoped_lock lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      counter.store(n);
+    }
+  };
+  const auto spawn = static_cast<unsigned>(
+      std::min<std::size_t>(jobs, (n + step - 1) / step) - 1);
+  std::vector<std::thread> threads;
+  threads.reserve(spawn);
+  for (unsigned t = 0; t < spawn; ++t) threads.emplace_back(work);
+  work();  // the calling thread participates
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace rt::util

@@ -1,0 +1,85 @@
+#pragma once
+// Fixed-size worker thread pool and a chunked parallel_for.
+//
+// The batch-evaluation engine (src/exp) fans hundreds of independent
+// scenarios out across workers. Scenarios are deterministically seeded and
+// never share mutable state, so all the pool needs is a plain work queue:
+// no futures, no task graph, no work stealing. Exceptions thrown by tasks
+// are captured and the first one is rethrown to the caller of
+// wait_idle()/parallel_for.
+//
+// Thread-safety contract of the rest of the codebase: Rng and
+// server::ResponseModel instances are NOT thread-safe. Callers of
+// parallel_for must give every chunk its own instances (see
+// exp::BatchRunner, which clones the response-model prototype and derives
+// an Rng seed per scenario).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rt::util {
+
+/// Worker count used when a caller passes jobs == 0: the hardware
+/// concurrency, or 1 when the runtime cannot tell.
+unsigned default_jobs();
+
+/// A fixed-size pool of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = default_jobs()).
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a task; never blocks.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any task threw since the previous wait_idle().
+  /// The wait covers the whole pool, so interleaving submissions from
+  /// several threads makes wait_idle wait for all of them.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+/// Chunked parallel loop over [0, n): body(begin, end) is invoked for
+/// disjoint contiguous chunks that together cover the range. Chunks are
+/// handed out dynamically (load balancing), so the caller must not depend
+/// on which thread runs which chunk -- only on the index ranges, which are
+/// deterministic per (n, chunk). chunk == 0 picks jobs*4 roughly equal
+/// chunks. Rethrows the first exception a body threw; remaining chunks may
+/// then be skipped.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t chunk = 0);
+
+/// Convenience overload without a pool: runs on `jobs` ad-hoc threads
+/// (0 = default_jobs(); the calling thread participates). jobs <= 1 runs
+/// inline with a single body(0, n) call.
+void parallel_for(std::size_t n, unsigned jobs,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t chunk = 0);
+
+}  // namespace rt::util

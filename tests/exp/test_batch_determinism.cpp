@@ -1,0 +1,141 @@
+// The BatchRunner's core promise: worker count is a pure performance knob.
+// The same sweep on 1, 2, or 8 workers must produce bit-identical results
+// (exact double equality, not tolerances), because every scenario draws its
+// seed from its index and owns a private Rng + cloned ResponseModel.
+//
+// This file is the one the TSan build (RTOFFLOAD_SANITIZE=thread) is
+// expected to exercise: it drives the pool, the per-scenario cloning, and
+// the disjoint result slots under real concurrency.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/odm.hpp"
+#include "core/workload.hpp"
+#include "exp/batch.hpp"
+#include "exp/sweep.hpp"
+
+namespace {
+
+using namespace rt;
+
+exp::Fig3SweepConfig small_sweep_config(unsigned jobs) {
+  exp::Fig3SweepConfig cfg;
+  cfg.workload.num_tasks = 10;
+  cfg.errors = {-0.2, 0.0, 0.2};
+  cfg.horizon = Duration::seconds(5);
+  cfg.batch.jobs = jobs;
+  return cfg;
+}
+
+TEST(ScenarioSeed, DeterministicAndDistinct) {
+  EXPECT_EQ(exp::scenario_seed(1, 0), exp::scenario_seed(1, 0));
+  EXPECT_EQ(exp::scenario_seed(99, 123), exp::scenario_seed(99, 123));
+
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base : {std::uint64_t{1}, std::uint64_t{2}}) {
+    for (std::size_t i = 0; i < 1000; ++i) {
+      seen.insert(exp::scenario_seed(base, i));
+    }
+  }
+  EXPECT_EQ(seen.size(), 2000u) << "seed collisions across indices/bases";
+}
+
+TEST(BatchDeterminism, SweepIdenticalAcrossWorkerCounts) {
+  // One fixed task set so all three runs sweep the same grid.
+  Rng rng(7);
+  core::PaperSimConfig wl;
+  wl.num_tasks = 10;
+  const core::TaskSet tasks = core::make_paper_simulation_taskset(rng, wl);
+
+  const exp::Fig3SweepResult r1 =
+      exp::run_fig3_sweep(tasks, small_sweep_config(1));
+  const exp::Fig3SweepResult r2 =
+      exp::run_fig3_sweep(tasks, small_sweep_config(2));
+  const exp::Fig3SweepResult r8 =
+      exp::run_fig3_sweep(tasks, small_sweep_config(8));
+
+  ASSERT_EQ(r1.cells.size(), 3u * 2u);
+  ASSERT_EQ(r2.cells.size(), r1.cells.size());
+  ASSERT_EQ(r8.cells.size(), r1.cells.size());
+  EXPECT_EQ(r1.total_misses, r2.total_misses);
+  EXPECT_EQ(r1.total_misses, r8.total_misses);
+
+  for (std::size_t i = 0; i < r1.cells.size(); ++i) {
+    SCOPED_TRACE(i);
+    for (const exp::Fig3SweepResult* other : {&r2, &r8}) {
+      EXPECT_EQ(r1.cells[i].error, other->cells[i].error);
+      EXPECT_EQ(r1.cells[i].solver, other->cells[i].solver);
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(r1.cells[i].analytic, other->cells[i].analytic);
+      EXPECT_EQ(r1.cells[i].simulated, other->cells[i].simulated);
+      EXPECT_EQ(r1.cells[i].misses, other->cells[i].misses);
+    }
+  }
+
+  // The sweep must have produced real signal, or the equalities above are
+  // vacuous.
+  double analytic_sum = 0.0, simulated_sum = 0.0;
+  for (const auto& c : r1.cells) {
+    analytic_sum += c.analytic;
+    simulated_sum += c.simulated;
+  }
+  EXPECT_GT(analytic_sum, 0.0);
+  EXPECT_GT(simulated_sum, 0.0);
+}
+
+TEST(BatchDeterminism, DecideOffloadingBatchMatchesSerial) {
+  std::vector<core::TaskSet> sets;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed);
+    core::PaperSimConfig wl;
+    wl.num_tasks = 8;
+    sets.push_back(core::make_paper_simulation_taskset(rng, wl));
+  }
+
+  std::vector<core::OdmResult> serial;
+  for (const auto& ts : sets) serial.push_back(core::decide_offloading(ts));
+
+  for (unsigned jobs : {1u, 4u}) {
+    SCOPED_TRACE(jobs);
+    const std::vector<core::OdmResult> batch =
+        core::decide_offloading_batch(sets, {}, jobs);
+    ASSERT_EQ(batch.size(), serial.size());
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      SCOPED_TRACE(i);
+      EXPECT_EQ(batch[i].feasible, serial[i].feasible);
+      EXPECT_EQ(batch[i].claimed_objective, serial[i].claimed_objective);
+      ASSERT_EQ(batch[i].decisions.size(), serial[i].decisions.size());
+      for (std::size_t t = 0; t < serial[i].decisions.size(); ++t) {
+        EXPECT_EQ(batch[i].decisions[t].offloaded(),
+                  serial[i].decisions[t].offloaded());
+        EXPECT_EQ(batch[i].decisions[t].level, serial[i].decisions[t].level);
+        EXPECT_EQ(batch[i].decisions[t].response_time,
+                  serial[i].decisions[t].response_time);
+      }
+    }
+  }
+}
+
+TEST(BatchDeterminism, ForEachRngIsPerIndex) {
+  // for_each hands each index an Rng seeded only by (base_seed, index):
+  // the draws must not depend on worker count or execution order.
+  exp::BatchConfig cfg1;
+  cfg1.jobs = 1;
+  exp::BatchConfig cfg8;
+  cfg8.jobs = 8;
+
+  constexpr std::size_t kN = 64;
+  std::vector<double> draws1(kN), draws8(kN);
+  exp::BatchRunner(cfg1).for_each(
+      kN, [&](std::size_t i, Rng& rng) { draws1[i] = rng.uniform(); });
+  exp::BatchRunner(cfg8).for_each(
+      kN, [&](std::size_t i, Rng& rng) { draws8[i] = rng.uniform(); });
+
+  EXPECT_EQ(draws1, draws8);
+  EXPECT_GT(std::set<double>(draws1.begin(), draws1.end()).size(), kN / 2);
+}
+
+}  // namespace

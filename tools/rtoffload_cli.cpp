@@ -4,9 +4,14 @@
 // scenario, and print a machine-readable JSON report.
 //
 // Usage:
-//   rtoffload_cli <taskset.json>        analyze + simulate the file
+//   rtoffload_cli <taskset.json> ...    analyze + simulate each file
+//   rtoffload_cli --jobs N f1 f2 ...    process the files on N workers
 //   rtoffload_cli --sample              print a sample task-set file
 //   rtoffload_cli                       run the built-in sample (demo)
+//
+// With several input files the reports are computed in parallel (--jobs N,
+// default 1) but always printed in argument order; the exit status is the
+// worst one (1 error > 2 deadline misses > 0 clean).
 //
 // Top-level schema: {"tasks": [...], "config": {...}} where config accepts
 //   solver: "dp-profits" | "heu-oe" | "dp-weights"   (default dp-profits)
@@ -17,12 +22,14 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "core/odm.hpp"
 #include "core/schedulability.hpp"
 #include "core/serialization.hpp"
 #include "server/gpu_server.hpp"
 #include "sim/simulator.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -79,7 +86,7 @@ std::unique_ptr<rt::server::ResponseModel> parse_scenario(const std::string& nam
   throw std::invalid_argument("unknown scenario '" + name + "'");
 }
 
-int run(const std::string& text) {
+int run(const std::string& text, std::ostream& os) {
   using namespace rt;
   const Json doc = Json::parse(text);
   const core::TaskSet tasks = core::task_set_from_json(doc);
@@ -140,36 +147,99 @@ int run(const std::string& text) {
   sim_obj["per_task"] = Json(std::move(per_task));
   report["simulation"] = Json(std::move(sim_obj));
 
-  std::cout << Json(std::move(report)).dump(2) << "\n";
+  os << Json(std::move(report)).dump(2) << "\n";
   return res.metrics.total_deadline_misses() == 0 ? 0 : 2;
+}
+
+// Analyze every file on `jobs` workers; reports print in argument order.
+int run_files(const std::vector<std::string>& files, unsigned jobs) {
+  struct FileResult {
+    std::string output;  // report JSON, or empty on error
+    std::string error;
+    int code = 0;
+  };
+  std::vector<FileResult> results(files.size());
+
+  rt::util::parallel_for(files.size(), jobs,
+                         [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      FileResult& r = results[i];
+      try {
+        std::ifstream in(files[i]);
+        if (!in) {
+          r.error = "error: cannot open '" + files[i] + "'";
+          r.code = 1;
+          continue;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::ostringstream report;
+        r.code = run(buf.str(), report);
+        r.output = report.str();
+      } catch (const std::exception& e) {
+        r.error = std::string("error: ") + e.what() + " (in '" + files[i] + "')";
+        r.code = 1;
+      }
+    }
+  });
+
+  int worst = 0;
+  for (const FileResult& r : results) {
+    if (!r.output.empty()) std::cout << r.output;
+    if (!r.error.empty()) std::cerr << r.error << "\n";
+    // 1 (hard error) outranks 2 (deadline misses) outranks 0.
+    if (r.code != 0 && (worst == 0 || r.code < worst)) worst = r.code;
+  }
+  return worst;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    if (argc >= 2 && std::string(argv[1]) == "--sample") {
-      std::cout << kSampleFile << "\n";
-      return 0;
-    }
-    if (argc >= 2 && (std::string(argv[1]) == "-h" ||
-                      std::string(argv[1]) == "--help")) {
-      std::cout << "usage: rtoffload_cli [taskset.json | --sample]\n"
-                   "With no arguments, runs the built-in sample task set.\n";
-      return 0;
-    }
-    if (argc >= 2) {
-      std::ifstream in(argv[1]);
-      if (!in) {
-        std::cerr << "error: cannot open '" << argv[1] << "'\n";
-        return 1;
+    unsigned jobs = 1;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--sample") {
+        std::cout << kSampleFile << "\n";
+        return 0;
       }
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      return run(buf.str());
+      if (arg == "-h" || arg == "--help") {
+        std::cout << "usage: rtoffload_cli [--jobs N] [taskset.json ...] | "
+                     "--sample\n"
+                     "With no input files, runs the built-in sample task "
+                     "set.\nSeveral files are analyzed on N workers (default "
+                     "1) and reported in argument order.\n";
+        return 0;
+      }
+      if (arg == "--jobs" || arg == "-j") {
+        if (i + 1 >= argc) {
+          std::cerr << "error: --jobs needs a value\n";
+          return 1;
+        }
+        int v = 0;
+        try {
+          v = std::stoi(argv[++i]);
+        } catch (const std::exception&) {
+          std::cerr << "error: --jobs expects a number, got '" << argv[i]
+                    << "'\n";
+          return 1;
+        }
+        if (v < 0) {
+          std::cerr << "error: --jobs must be >= 0\n";
+          return 1;
+        }
+        jobs = v == 0 ? rt::util::default_jobs() : static_cast<unsigned>(v);
+        continue;
+      }
+      files.push_back(arg);
     }
-    std::cerr << "(no input file: running the built-in sample; see --help)\n";
-    return run(kSampleFile);
+    if (files.empty()) {
+      std::cerr << "(no input file: running the built-in sample; see --help)\n";
+      return run(kSampleFile, std::cout);
+    }
+    return run_files(files, jobs);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
