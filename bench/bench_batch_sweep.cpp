@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include "exp/sweep.hpp"
+#include "json_summary.hpp"
 
 namespace {
 
@@ -36,3 +37,7 @@ BENCHMARK(BM_BatchSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return rtbench::run_with_json_summary(argc, argv, "BENCH_batch.json");
+}

@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/odm.hpp"
+#include "json_summary.hpp"
 #include "core/workload.hpp"
 #include "mckp/branch_bound.hpp"
 #include "mckp/solvers.hpp"
@@ -103,3 +104,7 @@ void BM_OdmEndToEnd(benchmark::State& state) {
 BENCHMARK(BM_OdmEndToEnd)->RangeMultiplier(2)->Range(8, 64);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return rtbench::run_with_json_summary(argc, argv, "BENCH_mckp.json");
+}

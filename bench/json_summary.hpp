@@ -1,0 +1,90 @@
+#pragma once
+// Machine-readable bench summaries: a ConsoleReporter subclass that, next
+// to the usual console table, collects every iteration run and writes
+//   {"benchmarks": [{"name", "config", "wall_ms", "throughput"}, ...]}
+// to a fixed JSON file (e.g. BENCH_batch.json) in the working directory,
+// so perf tracking can diff runs without scraping stdout.
+//
+//   int main(int argc, char** argv) {
+//     return rtbench::run_with_json_summary(argc, argv, "BENCH_batch.json");
+//   }
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace rtbench {
+
+class JsonSummaryReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonSummaryReporter(std::string path) : path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      if (run.report_big_o || run.report_rms) continue;
+      rt::Json::Object entry;
+      entry["name"] = run.benchmark_name();
+
+      rt::Json::Object config;
+      config["iterations"] = static_cast<std::int64_t>(run.iterations);
+      config["threads"] = static_cast<std::int64_t>(run.threads);
+      for (const auto& [name, counter] : run.counters) {
+        config[name] = static_cast<double>(counter);
+      }
+      entry["config"] = rt::Json(std::move(config));
+
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      entry["wall_ms"] = run.real_accumulated_time / iters * 1e3;
+
+      // items/sec when the bench reported items, else iterations/sec.
+      const auto it = run.counters.find("items_per_second");
+      const double throughput =
+          it != run.counters.end()
+              ? static_cast<double>(it->second)
+              : (run.real_accumulated_time > 0.0
+                     ? iters / run.real_accumulated_time
+                     : 0.0);
+      entry["throughput"] = throughput;
+      entries_.push_back(rt::Json(std::move(entry)));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  void Finalize() override {
+    ConsoleReporter::Finalize();
+    rt::Json::Object root;
+    root["benchmarks"] = rt::Json(std::move(entries_));
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "warning: cannot write bench summary '" << path_ << "'\n";
+      return;
+    }
+    out << rt::Json(std::move(root)).dump(2) << "\n";
+    std::cerr << "bench summary written to " << path_ << "\n";
+  }
+
+ private:
+  std::string path_;
+  rt::Json::Array entries_;
+};
+
+/// Drop-in replacement for benchmark_main's main() that adds the summary.
+inline int run_with_json_summary(int argc, char** argv,
+                                 const char* summary_path) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonSummaryReporter reporter{std::string(summary_path)};
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace rtbench

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/sink.hpp"
+#include "obs/timer.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rt::core {
@@ -77,9 +79,14 @@ OdmResult decide_offloading(const TaskSet& tasks, const OdmConfig& config) {
     res.feasible = true;
     return res;
   }
+  obs::ScopedTimer decide_timer(
+      config.sink != nullptr
+          ? &config.sink->registry().histogram("odm.decide_ns")
+          : nullptr);
   OdmInstance odm = build_odm_instance(tasks, config);
 
-  res.raw_selection = mckp::solve(odm.instance, config.solver, config.profit_scale);
+  res.raw_selection = mckp::solve(odm.instance, config.solver,
+                                  config.profit_scale, nullptr, config.sink);
   res.lp_bound = mckp::lp_upper_bound(odm.instance);
 
   res.decisions.reserve(tasks.size());
@@ -115,6 +122,15 @@ OdmResult decide_offloading(const TaskSet& tasks, const OdmConfig& config) {
 
   res.feasible = theorem3_feasible(tasks, res.decisions);
   res.density = total_density(tasks, res.decisions).to_double();
+  if (config.sink != nullptr) {
+    auto& reg = config.sink->registry();
+    reg.counter("odm.decisions").inc();
+    std::uint64_t offloaded = 0;
+    for (const auto& d : res.decisions) offloaded += d.offloaded() ? 1 : 0;
+    reg.counter("odm.tasks_offloaded").inc(offloaded);
+    reg.counter("odm.tasks_local").inc(res.decisions.size() - offloaded);
+    if (!res.feasible) reg.counter("odm.infeasible").inc();
+  }
   return res;
 }
 

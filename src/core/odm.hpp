@@ -35,6 +35,12 @@ struct OdmConfig {
   /// of every benefit breakpoint is (1+x)*r. 0 = perfect estimation.
   /// Must be > -1.
   double estimation_error = 0.0;
+  /// Optional telemetry sink (docs/ANALYSIS.md §8): records odm.* timing
+  /// and decision counters plus the solver's mckp.* metrics. Decisions are
+  /// pure functions of (task set, config) with or without a sink. The sink
+  /// is single-threaded; batch callers must point each worker at its own
+  /// shard (see exp::BatchRunner).
+  obs::Sink* sink = nullptr;
 };
 
 struct OdmResult {

@@ -1,5 +1,7 @@
 #include "exp/batch.hpp"
 
+#include "obs/sink.hpp"
+
 namespace rt::exp {
 
 std::uint64_t scenario_seed(std::uint64_t base_seed, std::size_t index) {
@@ -20,32 +22,73 @@ BatchRunner::BatchRunner(BatchConfig config) : config_(config) {
 BatchRunner::~BatchRunner() = default;
 
 ScenarioOutcome BatchRunner::run_one(const ScenarioSpec& spec,
-                                     std::size_t index) const {
+                                     std::size_t index,
+                                     obs::Sink* shard) const {
   ScenarioOutcome out;
   out.index = index;
   out.tag = spec.tag;
   if (spec.decisions.has_value()) {
     out.decisions = *spec.decisions;
   } else {
-    out.odm = core::decide_offloading(spec.tasks, spec.odm);
+    core::OdmConfig odm_cfg = spec.odm;
+    odm_cfg.sink = shard;
+    out.odm = core::decide_offloading(spec.tasks, odm_cfg);
     out.decisions = out.odm.decisions;
   }
   if (spec.server != nullptr) {
     const std::unique_ptr<server::ResponseModel> srv = spec.server->clone();
     sim::SimConfig cfg = spec.sim;
     cfg.seed = scenario_seed(config_.base_seed, index);
+    cfg.sink = shard;
     const sim::SimResult res =
         sim::simulate(spec.tasks, out.decisions, *srv, cfg, spec.profile);
     out.metrics = res.metrics;
+    if (shard != nullptr && res.metrics.trace_truncated) {
+      shard->registry().counter("batch.traces_truncated").inc();
+    }
   }
   return out;
 }
 
 std::vector<ScenarioOutcome> BatchRunner::run(
-    const std::vector<ScenarioSpec>& specs) {
+    const std::vector<ScenarioSpec>& specs, obs::Sink* sink) {
   std::vector<ScenarioOutcome> out(specs.size());
-  for_each(specs.size(),
-           [&](std::size_t i, Rng&) { out[i] = run_one(specs[i], i); });
+  if (sink == nullptr) {
+    for_each(specs.size(),
+             [&](std::size_t i, Rng&) { out[i] = run_one(specs[i], i, nullptr); });
+    return out;
+  }
+
+  const std::int64_t t0_ns = sink->now_ns();
+  obs::WorkerShards shards(*sink, pool_ != nullptr ? jobs_ : 0);
+  for_each(specs.size(), [&](std::size_t i, Rng&) {
+    obs::Sink& shard = shards.local();
+    obs::PhaseProbe probe(&shard, "scenario " + std::to_string(i),
+                          &shard.registry().histogram("batch.scenario_ns"));
+    out[i] = run_one(specs[i], i, &shard);
+    shard.registry().counter("batch.scenarios").inc();
+  });
+  const std::int64_t t1_ns = sink->now_ns();
+
+  // Per-worker throughput, read from the shards before they are folded
+  // together. Wall-clock telemetry only: not deterministic across runs.
+  const double wall_s = static_cast<double>(t1_ns - t0_ns) / 1e9;
+  for (std::size_t w = 0; w < shards.claimed(); ++w) {
+    const obs::Counter* done =
+        shards.shard(w).registry().find_counter("batch.scenarios");
+    const double count = done != nullptr ? static_cast<double>(done->value()) : 0.0;
+    const std::string prefix = "batch.worker." + std::to_string(w);
+    sink->registry().gauge(prefix + ".scenarios").set(count);
+    if (wall_s > 0.0) {
+      sink->registry().gauge(prefix + ".scenarios_per_s").set(count / wall_s);
+    }
+  }
+  shards.merge_into(*sink);
+  auto& reg = sink->registry();
+  reg.counter("batch.runs").inc();
+  reg.counter("batch.specs").inc(specs.size());
+  reg.histogram("batch.run_ns").add(t1_ns - t0_ns);
+  sink->phases().push_back(obs::PhaseEvent{"batch.run", 0, t0_ns, t1_ns});
   return out;
 }
 

@@ -31,6 +31,10 @@
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
+namespace rt::obs {
+class Sink;
+}  // namespace rt::obs
+
 namespace rt::exp {
 
 struct BatchConfig {
@@ -89,7 +93,17 @@ class BatchRunner {
 
   /// Evaluates every spec (decide -> clone server -> simulate -> metrics);
   /// results are index-aligned with `specs`.
-  std::vector<ScenarioOutcome> run(const std::vector<ScenarioSpec>& specs);
+  ///
+  /// `sink` (optional, docs/ANALYSIS.md §8) collects batch telemetry:
+  /// per-scenario phase events and batch.* / odm.* / mckp.* / sim.*
+  /// metrics. Workers record into private shards (obs::WorkerShards) that
+  /// are merged into `sink` at join, so the outcomes stay bit-identical
+  /// for every worker count with or without telemetry. Any sink already
+  /// set on a spec's OdmConfig/SimConfig is overridden by the worker
+  /// shard (a caller-supplied sink would be shared across workers, which
+  /// the Sink contract forbids).
+  std::vector<ScenarioOutcome> run(const std::vector<ScenarioSpec>& specs,
+                                   obs::Sink* sink = nullptr);
 
   /// Generic fan-out for custom per-scenario work: body(index, rng) runs
   /// once per index in [0, n) with an Rng seeded by scenario_seed(). The
@@ -98,7 +112,8 @@ class BatchRunner {
                 const std::function<void(std::size_t, Rng&)>& body);
 
  private:
-  ScenarioOutcome run_one(const ScenarioSpec& spec, std::size_t index) const;
+  ScenarioOutcome run_one(const ScenarioSpec& spec, std::size_t index,
+                          obs::Sink* shard) const;
 
   BatchConfig config_;
   unsigned jobs_ = 1;

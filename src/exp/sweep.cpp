@@ -49,7 +49,7 @@ Fig3SweepResult run_fig3_sweep(const core::TaskSet& tasks,
   }
 
   BatchRunner runner(config.batch);
-  const std::vector<ScenarioOutcome> outcomes = runner.run(specs);
+  const std::vector<ScenarioOutcome> outcomes = runner.run(specs, config.sink);
 
   Fig3SweepResult result;
   result.cells.reserve(outcomes.size());

@@ -30,6 +30,8 @@ struct Fig3SweepConfig {
                                            mckp::SolverKind::kHeuOe};
   Duration horizon = Duration::seconds(200);
   BatchConfig batch;
+  /// Optional telemetry sink forwarded to BatchRunner::run (ANALYSIS §8).
+  obs::Sink* sink = nullptr;
 };
 
 /// One (error, solver) grid cell.

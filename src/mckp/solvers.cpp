@@ -5,6 +5,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/sink.hpp"
+#include "obs/timer.hpp"
+
 namespace rt::mckp {
 
 namespace {
@@ -83,11 +86,13 @@ Selection solve_brute_force(const Instance& inst) {
 }
 
 Selection solve_dp_profits(const Instance& inst, double profit_scale,
-                           DpWorkspace* ws) {
+                           DpWorkspace* ws, obs::Sink* sink) {
   inst.validate();
   if (!(profit_scale > 0.0)) {
     throw std::invalid_argument("solve_dp_profits: profit_scale must be > 0");
   }
+  obs::ScopedTimer solve_timer(
+      sink != nullptr ? &sink->registry().histogram("mckp.solve_ns") : nullptr);
   const std::size_t m = inst.classes.size();
   if (m == 0) {
     Selection empty;
@@ -127,6 +132,16 @@ Selection solve_dp_profits(const Instance& inst, double profit_scale,
         inst.classes[c][static_cast<std::size_t>(red.undominated.front())].weight);
     total_q += qmax;
   }
+  if (sink != nullptr) {
+    std::size_t items_total = 0;
+    for (const auto& cls : inst.classes) items_total += cls.size();
+    auto& reg = sink->registry();
+    reg.counter("mckp.solves").inc();
+    reg.counter("mckp.items_total").inc(items_total);
+    reg.counter("mckp.items_kept").inc(w.q.size());
+    reg.histogram("mckp.items_pruned")
+        .add(static_cast<std::int64_t>(items_total - w.q.size()));
+  }
   if (min_weight_sum > inst.capacity) return min_weight_selection(inst);
 
   // Truncate the profit axis with the LP relaxation (Dantzig) bound: a
@@ -148,6 +163,11 @@ Selection solve_dp_profits(const Instance& inst, double profit_scale,
       static_cast<double>(axis + 1) * static_cast<double>(m) > 4e8) {
     throw std::invalid_argument(
         "solve_dp_profits: scaled profit space too large; lower profit_scale");
+  }
+
+  if (sink != nullptr) {
+    sink->registry().histogram("mckp.dp_cells")
+        .add((axis + 1) * static_cast<std::int64_t>(m));
   }
 
   const auto P = static_cast<std::size_t>(axis);
@@ -426,9 +446,10 @@ double lp_upper_bound(const Instance& inst) {
 }
 
 Selection solve(const Instance& inst, SolverKind kind, double profit_scale,
-                DpWorkspace* ws) {
+                DpWorkspace* ws, obs::Sink* sink) {
   switch (kind) {
-    case SolverKind::kDpProfits: return solve_dp_profits(inst, profit_scale, ws);
+    case SolverKind::kDpProfits:
+      return solve_dp_profits(inst, profit_scale, ws, sink);
     case SolverKind::kDpWeights: return solve_dp_weights(inst);
     case SolverKind::kHeuOe: return solve_greedy_heu_oe(inst);
     case SolverKind::kBruteForce: return solve_brute_force(inst);

@@ -14,6 +14,10 @@
 
 #include "mckp/instance.hpp"
 
+namespace rt::obs {
+class Sink;
+}  // namespace rt::obs
+
 namespace rt::mckp {
 
 enum class SolverKind {
@@ -71,9 +75,16 @@ Selection solve_brute_force(const Instance& inst);
 /// the LP relaxation upper bound plus rounding slack, so the table never
 /// grows past the achievable profit. `ws` supplies reusable buffers;
 /// nullptr selects a thread_local workspace.
+///
+/// A non-null `sink` records per-solve telemetry (docs/ANALYSIS.md §8):
+/// mckp.solves / items_total / items_kept counters, the items-pruned and
+/// dp-cells histograms, and a solve wall-time histogram. The decision is
+/// a pure function of (inst, profit_scale) either way; telemetry never
+/// alters the result.
 Selection solve_dp_profits(const Instance& inst,
                            double profit_scale = kDefaultProfitScale,
-                           DpWorkspace* ws = nullptr);
+                           DpWorkspace* ws = nullptr,
+                           obs::Sink* sink = nullptr);
 
 /// DP over a discretized capacity axis with `grid` cells. Item weights are
 /// rounded UP to the grid, so any selection reported feasible is truly
@@ -93,10 +104,10 @@ Selection solve_greedy_heu_oe(const Instance& inst);
 /// Any feasible selection's profit is <= this bound.
 double lp_upper_bound(const Instance& inst);
 
-/// Dispatch helper. `ws` is forwarded to solve_dp_profits for kDpProfits
-/// (other solvers ignore it).
+/// Dispatch helper. `ws` and `sink` are forwarded to solve_dp_profits for
+/// kDpProfits (other solvers ignore them).
 Selection solve(const Instance& inst, SolverKind kind,
                 double profit_scale = kDefaultProfitScale,
-                DpWorkspace* ws = nullptr);
+                DpWorkspace* ws = nullptr, obs::Sink* sink = nullptr);
 
 }  // namespace rt::mckp

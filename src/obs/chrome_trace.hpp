@@ -1,0 +1,58 @@
+#pragma once
+// Chrome trace-event (Perfetto-loadable) JSON writer.
+//
+// Emits the legacy "JSON Array Format" object form
+//   {"traceEvents": [...], "displayTimeUnit": "ms"}
+// that chrome://tracing and https://ui.perfetto.dev both load. Events are
+// built on rt::Json, so names are escaped by the serializer and output is
+// byte-stable for identical input (sorted keys, insertion-ordered array).
+//
+// Timestamps are microseconds (the format's unit); callers pass
+// nanoseconds and the writer converts, keeping sub-microsecond precision
+// as fractional microseconds.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/sink.hpp"
+#include "util/json.hpp"
+
+namespace rt::obs {
+
+class ChromeTraceWriter {
+ public:
+  /// A complete ("X") event: a [ts, ts+dur] slice on track (pid, tid).
+  void add_complete(std::string_view name, std::string_view category, int pid,
+                    int tid, std::int64_t ts_ns, std::int64_t dur_ns);
+
+  /// An instant ("i") event with thread scope.
+  void add_instant(std::string_view name, std::string_view category, int pid,
+                   int tid, std::int64_t ts_ns);
+
+  /// Metadata naming a (pid, tid) track in the viewer.
+  void name_thread(int pid, int tid, std::string_view name);
+  void name_process(int pid, std::string_view name);
+
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+
+  /// Concatenates another writer's events (e.g. per-file writers merged in
+  /// print order). Use distinct pids to keep the tracks apart.
+  void append(const ChromeTraceWriter& other);
+
+  /// The complete document; `indent` as in Json::dump.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+  void write(std::ostream& os, int indent = -1) const;
+
+ private:
+  Json::Array events_;
+};
+
+/// Appends every shard phase interval of a batch-run sink as "X" slices
+/// (tid = worker id) plus thread-name metadata, so a sweep renders as one
+/// swimlane per worker.
+void append_phase_events(ChromeTraceWriter& writer, const Sink& sink,
+                         int pid = 0);
+
+}  // namespace rt::obs

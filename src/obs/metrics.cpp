@@ -1,0 +1,149 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <limits>
+#include <sstream>
+
+namespace rt::obs {
+
+void LogHistogram::add(std::int64_t v) {
+  const std::size_t bucket =
+      v <= 0 ? 0 : static_cast<std::size_t>(
+                       std::bit_width(static_cast<std::uint64_t>(v)));
+  ++buckets_[bucket];
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+}
+
+std::uint64_t LogHistogram::bucket_count(std::size_t bucket) const {
+  return bucket < kBuckets ? buckets_[bucket] : 0;
+}
+
+std::int64_t LogHistogram::bucket_lo(std::size_t bucket) {
+  if (bucket == 0) return std::numeric_limits<std::int64_t>::min();
+  return std::int64_t{1} << (bucket - 1);
+}
+
+std::int64_t LogHistogram::bucket_hi(std::size_t bucket) {
+  if (bucket == 0) return 1;
+  if (bucket >= kBuckets - 1) return std::numeric_limits<std::int64_t>::max();
+  return std::int64_t{1} << bucket;
+}
+
+void LogHistogram::merge(const LogHistogram& o) {
+  if (o.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+  if (count_ == 0) {
+    min_ = o.min_;
+    max_ = o.max_;
+  } else {
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+  count_ += o.count_;
+  sum_ += o.sum_;
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+LogHistogram& MetricRegistry::histogram(std::string_view name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), LogHistogram{}).first->second;
+}
+
+const Counter* MetricRegistry::find_counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricRegistry::find_gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const LogHistogram* MetricRegistry::find_histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricRegistry::merge(const MetricRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counter(name).merge(c);
+  for (const auto& [name, g] : other.gauges_) gauge(name).merge(g);
+  for (const auto& [name, h] : other.histograms_) histogram(name).merge(h);
+}
+
+Json MetricRegistry::snapshot_json() const {
+  Json::Object counters;
+  for (const auto& [name, c] : counters_) {
+    counters[name] = static_cast<std::int64_t>(c.value());
+  }
+  Json::Object gauges;
+  for (const auto& [name, g] : gauges_) {
+    if (g.has_value()) gauges[name] = g.value();
+  }
+  Json::Object histograms;
+  for (const auto& [name, h] : histograms_) {
+    Json::Object obj;
+    obj["count"] = static_cast<std::int64_t>(h.count());
+    obj["sum"] = h.sum();
+    obj["min"] = h.min();
+    obj["max"] = h.max();
+    obj["mean"] = h.mean();
+    Json::Array buckets;
+    for (std::size_t b = 0; b < LogHistogram::kBuckets; ++b) {
+      if (h.bucket_count(b) == 0) continue;
+      Json::Object bucket;
+      // Bucket 0's mathematical lower bound is -inf; clamp to the observed
+      // minimum so the JSON stays finite.
+      bucket["lo"] = b == 0 ? std::min<std::int64_t>(h.min(), 0)
+                            : LogHistogram::bucket_lo(b);
+      bucket["hi"] = LogHistogram::bucket_hi(b);
+      bucket["count"] = static_cast<std::int64_t>(h.bucket_count(b));
+      buckets.push_back(Json(std::move(bucket)));
+    }
+    obj["buckets"] = Json(std::move(buckets));
+    histograms[name] = Json(std::move(obj));
+  }
+  Json::Object root;
+  root["counters"] = Json(std::move(counters));
+  root["gauges"] = Json(std::move(gauges));
+  root["histograms"] = Json(std::move(histograms));
+  return Json(std::move(root));
+}
+
+std::string MetricRegistry::snapshot_csv() const {
+  std::ostringstream oss;
+  oss << "kind,name,count,sum,min,max,mean\n";
+  for (const auto& [name, c] : counters_) {
+    oss << "counter," << name << "," << c.value() << "," << c.value() << ",,,\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (!g.has_value()) continue;
+    oss << "gauge," << name << ",1," << g.value() << ",,,\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    oss << "histogram," << name << "," << h.count() << "," << h.sum() << ","
+        << h.min() << "," << h.max() << "," << h.mean() << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace rt::obs

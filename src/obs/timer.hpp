@@ -1,0 +1,35 @@
+#pragma once
+// Scoped wall-clock timing into a duration histogram. Header-only so the
+// disabled path (null histogram) inlines to a pointer test.
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace rt::obs {
+
+/// Records the scope's wall-clock duration (steady clock, nanoseconds)
+/// into a LogHistogram on destruction. A null histogram skips the clock
+/// reads entirely, so instrumenting a hot path costs one branch when
+/// telemetry is off.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LogHistogram* hist) : hist_(hist) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (hist_ == nullptr) return;
+    hist_->add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  LogHistogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rt::obs

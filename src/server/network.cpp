@@ -6,14 +6,20 @@
 namespace rt::server {
 
 void NetworkModel::validate() const {
+  // The negated comparisons catch NaN (every comparison with NaN is
+  // false), which the old `x < 0.0` style let straight through.
   if (base_latency.is_negative()) {
     throw std::invalid_argument("NetworkModel: negative latency");
   }
-  if (!(bandwidth_bytes_per_sec > 0.0)) {
-    throw std::invalid_argument("NetworkModel: bandwidth must be > 0");
+  if (!std::isfinite(bandwidth_bytes_per_sec) ||
+      !(bandwidth_bytes_per_sec > 0.0)) {
+    throw std::invalid_argument(
+        "NetworkModel: bandwidth must be finite and > 0");
   }
-  if (jitter < 0.0) throw std::invalid_argument("NetworkModel: negative jitter");
-  if (loss_probability < 0.0 || loss_probability > 1.0) {
+  if (!(jitter >= 0.0) || !std::isfinite(jitter)) {
+    throw std::invalid_argument("NetworkModel: jitter must be finite and >= 0");
+  }
+  if (!(loss_probability >= 0.0) || !(loss_probability <= 1.0)) {
     throw std::invalid_argument("NetworkModel: bad loss probability");
   }
 }

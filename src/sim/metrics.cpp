@@ -48,6 +48,7 @@ std::string SimMetrics::summary() const {
       << " compensations=" << total_compensations()
       << " benefit=" << total_benefit()
       << " cpu=" << cpu_utilization();
+  if (trace_truncated) oss << " trace=truncated";
   return oss.str();
 }
 

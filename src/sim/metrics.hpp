@@ -27,6 +27,10 @@ struct SimMetrics {
   std::vector<TaskMetrics> per_task;
   std::int64_t cpu_busy_ns = 0;
   std::uint64_t context_switches = 0;  ///< dispatch changes to a live job
+  /// True when the bounded sim::Trace hit its capacity and dropped events.
+  /// A truncated trace still yields exact metrics (counters never drop),
+  /// but timeline exports (--trace-out) are incomplete.
+  bool trace_truncated = false;
   TimePoint end_time;
 
   [[nodiscard]] std::uint64_t total_released() const;

@@ -55,7 +55,9 @@ std::string one_line_summary(const SimMetrics& metrics) {
                 static_cast<unsigned long long>(metrics.total_compensations()),
                 static_cast<unsigned long long>(metrics.total_deadline_misses()),
                 metrics.total_benefit(), metrics.cpu_utilization() * 100.0);
-  return buf;
+  std::string out = buf;
+  if (metrics.trace_truncated) out += " trace=truncated";
+  return out;
 }
 
 }  // namespace rt::sim

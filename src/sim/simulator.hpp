@@ -29,6 +29,10 @@
 #include "sim/trace.hpp"
 #include "util/rng.hpp"
 
+namespace rt::obs {
+class Sink;
+}  // namespace rt::obs
+
 namespace rt::sim {
 
 /// How sub-job *actual* execution times relate to their WCETs.
@@ -84,6 +88,13 @@ struct SimConfig {
   /// Throw (std::logic_error) on the first deadline miss instead of
   /// counting it; useful in property tests of the guarantee.
   bool abort_on_deadline_miss = false;
+  /// Optional telemetry sink (docs/ANALYSIS.md §8): per-task
+  /// timely/compensation/miss counters, the event-loop counter, and a
+  /// run wall-time histogram. nullptr (the default) is a strict no-op --
+  /// the engine resolves no metric handles and each hook is one null
+  /// check. The sink is single-threaded: give each concurrent simulation
+  /// its own shard (exp::BatchRunner does this automatically).
+  obs::Sink* sink = nullptr;
 };
 
 /// Per-(task, level) offload request shape handed to the response model.

@@ -1,0 +1,83 @@
+#include "sim/trace_export.hpp"
+
+#include <optional>
+
+namespace rt::sim {
+
+namespace {
+
+std::string lane_name(const std::vector<std::string>& task_names,
+                      std::size_t task) {
+  if (task < task_names.size() && !task_names[task].empty()) {
+    return task_names[task];
+  }
+  return "task " + std::to_string(task);
+}
+
+/// The execution window opened by the most recent kDispatch. The simulated
+/// CPU is single-core, so at most one window is open at a time; any event
+/// that stops or supersedes the execution closes it.
+struct OpenSlice {
+  std::size_t task = 0;
+  std::uint64_t job = 0;
+  std::int64_t start_ns = 0;
+};
+
+}  // namespace
+
+std::size_t append_chrome_trace(obs::ChromeTraceWriter& writer,
+                                const Trace& trace,
+                                const std::vector<std::string>& task_names,
+                                int pid) {
+  const std::size_t before = writer.event_count();
+  std::size_t max_task = 0;
+  for (const auto& ev : trace.events()) {
+    if (ev.task > max_task) max_task = ev.task;
+  }
+  writer.name_process(pid, "rtoffload sim");
+  if (!trace.events().empty()) {
+    for (std::size_t t = 0; t <= max_task; ++t) {
+      writer.name_thread(pid, static_cast<int>(t), lane_name(task_names, t));
+    }
+  }
+
+  std::optional<OpenSlice> open;
+  auto close_open = [&](std::int64_t end_ns) {
+    if (!open.has_value()) return;
+    const std::string name =
+        "run job " + std::to_string(open->job);
+    writer.add_complete(name, "cpu", pid, static_cast<int>(open->task),
+                        open->start_ns, end_ns - open->start_ns);
+    open.reset();
+  };
+
+  for (const auto& ev : trace.events()) {
+    const std::int64_t ts = ev.time.ns();
+    const int tid = static_cast<int>(ev.task);
+    switch (ev.kind) {
+      case TraceKind::kDispatch:
+        close_open(ts);
+        open = OpenSlice{ev.task, ev.job, ts};
+        break;
+      case TraceKind::kPreempt:
+      case TraceKind::kSetupDone:
+      case TraceKind::kJobComplete:
+        if (open.has_value() && open->task == ev.task) close_open(ts);
+        if (ev.kind != TraceKind::kPreempt) {
+          writer.add_instant(to_string(ev.kind), "sim", pid, tid, ts);
+        }
+        break;
+      default:
+        writer.add_instant(to_string(ev.kind), "sim", pid, tid, ts);
+        break;
+    }
+  }
+  if (open.has_value()) {
+    // Trace ended (or was truncated) mid-execution; close at the last
+    // timestamp so the slice is visible rather than dropped.
+    close_open(trace.events().back().time.ns());
+  }
+  return writer.event_count() - before;
+}
+
+}  // namespace rt::sim

@@ -1,0 +1,24 @@
+#pragma once
+// Upgrades a sim::Trace into a Chrome trace-event timeline (one swimlane
+// per task): Dispatch..{Preempt,SetupDone,JobComplete,next Dispatch}
+// windows become duration slices, everything else instant markers. The
+// export is purely a view -- it never mutates the trace -- and is
+// byte-stable for identical traces (docs/ANALYSIS.md §8).
+
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.hpp"
+#include "sim/trace.hpp"
+
+namespace rt::sim {
+
+/// Appends the trace to `writer` under process `pid`. `task_names[i]`
+/// labels the swimlane of task i; missing names fall back to "task <i>".
+/// Returns the number of events appended.
+std::size_t append_chrome_trace(obs::ChromeTraceWriter& writer,
+                                const Trace& trace,
+                                const std::vector<std::string>& task_names = {},
+                                int pid = 0);
+
+}  // namespace rt::sim

@@ -16,6 +16,7 @@
 #include "core/workload.hpp"
 #include "exp/batch.hpp"
 #include "exp/sweep.hpp"
+#include "obs/sink.hpp"
 
 namespace {
 
@@ -115,6 +116,79 @@ TEST(BatchDeterminism, DecideOffloadingBatchMatchesSerial) {
         EXPECT_EQ(batch[i].decisions[t].response_time,
                   serial[i].decisions[t].response_time);
       }
+    }
+  }
+}
+
+TEST(BatchDeterminism, TelemetryDoesNotPerturbResults) {
+  // Attaching a sink must be pure observation: the sweep's cells stay
+  // bit-identical to a telemetry-free run.
+  Rng rng(7);
+  core::PaperSimConfig wl;
+  wl.num_tasks = 10;
+  const core::TaskSet tasks = core::make_paper_simulation_taskset(rng, wl);
+
+  const exp::Fig3SweepResult bare =
+      exp::run_fig3_sweep(tasks, small_sweep_config(2));
+
+  obs::Sink sink;
+  exp::Fig3SweepConfig cfg = small_sweep_config(2);
+  cfg.sink = &sink;
+  const exp::Fig3SweepResult observed = exp::run_fig3_sweep(tasks, cfg);
+
+  ASSERT_EQ(observed.cells.size(), bare.cells.size());
+  for (std::size_t i = 0; i < bare.cells.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(observed.cells[i].analytic, bare.cells[i].analytic);
+    EXPECT_EQ(observed.cells[i].simulated, bare.cells[i].simulated);
+    EXPECT_EQ(observed.cells[i].misses, bare.cells[i].misses);
+  }
+
+  // The merged counters must have recorded the sweep.
+  EXPECT_EQ(sink.registry().counter("batch.scenarios").value(),
+            bare.cells.size());
+  EXPECT_GT(sink.registry().counter("sim.events").value(), 0u);
+  EXPECT_GT(sink.registry().counter("odm.decisions").value(), 0u);
+  EXPECT_GT(sink.registry().histogram("mckp.items_pruned").count(), 0u);
+  EXPECT_FALSE(sink.phases().empty());
+}
+
+TEST(BatchDeterminism, MergedCountersIdenticalAcrossWorkerCounts) {
+  // Counters and value histograms (not the *_ns wall-clock ones) are
+  // integer sums over per-scenario work, so the merged totals must be
+  // identical for every worker count.
+  Rng rng(7);
+  core::PaperSimConfig wl;
+  wl.num_tasks = 10;
+  const core::TaskSet tasks = core::make_paper_simulation_taskset(rng, wl);
+
+  auto run_with_sink = [&](unsigned jobs, obs::Sink& sink) {
+    exp::Fig3SweepConfig cfg = small_sweep_config(jobs);
+    cfg.sink = &sink;
+    (void)exp::run_fig3_sweep(tasks, cfg);
+  };
+  obs::Sink s1, s8;
+  run_with_sink(1, s1);
+  run_with_sink(8, s8);
+
+  ASSERT_EQ(s1.registry().counters().size(), s8.registry().counters().size());
+  for (const auto& [name, c] : s1.registry().counters()) {
+    SCOPED_TRACE(name);
+    const obs::Counter* other = s8.registry().find_counter(name);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(c.value(), other->value());
+  }
+  for (const auto& [name, h] : s1.registry().histograms()) {
+    if (name.size() > 3 && name.compare(name.size() - 3, 3, "_ns") == 0) {
+      continue;  // wall-clock durations carry no determinism promise
+    }
+    SCOPED_TRACE(name);
+    const obs::LogHistogram* other = s8.registry().find_histogram(name);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(h.count(), other->count());
+    EXPECT_EQ(h.sum(), other->sum());
+    for (std::size_t b = 0; b < obs::LogHistogram::kBuckets; ++b) {
+      EXPECT_EQ(h.bucket_count(b), other->bucket_count(b));
     }
   }
 }

@@ -1,0 +1,145 @@
+// Chrome trace-event exporter: golden-file output for a tiny two-task
+// scenario (byte-stable under re-run), JSON string escaping, and the
+// batch phase-event export.
+
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/sink.hpp"
+#include "sim/trace.hpp"
+#include "sim/trace_export.hpp"
+#include "util/json.hpp"
+
+namespace rt {
+namespace {
+
+/// The golden scenario: two tasks, one offloaded job (dispatch, setup,
+/// timer, compensation) interleaved with one local job. All timestamps are
+/// whole microseconds so the golden string is free of fractions.
+sim::Trace make_two_task_trace() {
+  sim::Trace trace(32);
+  trace.record(TimePoint(0), sim::TraceKind::kRelease, 0, 0);
+  trace.record(TimePoint(1000), sim::TraceKind::kDispatch, 0, 0);
+  trace.record(TimePoint(3000), sim::TraceKind::kSetupDone, 0, 0);
+  trace.record(TimePoint(4000), sim::TraceKind::kRelease, 1, 1);
+  trace.record(TimePoint(5000), sim::TraceKind::kDispatch, 1, 1);
+  trace.record(TimePoint(8000), sim::TraceKind::kJobComplete, 1, 1);
+  trace.record(TimePoint(9000), sim::TraceKind::kTimerFired, 0, 0);
+  trace.record(TimePoint(10000), sim::TraceKind::kDispatch, 0, 0);
+  trace.record(TimePoint(12000), sim::TraceKind::kJobComplete, 0, 0);
+  return trace;
+}
+
+std::string export_two_task_trace() {
+  obs::ChromeTraceWriter writer;
+  const std::size_t appended = sim::append_chrome_trace(
+      writer, make_two_task_trace(), {"camera", "lidar"});
+  EXPECT_EQ(appended, writer.event_count());
+  return writer.dump();
+}
+
+TEST(ChromeTrace, TwoTaskGolden) {
+  const char* kGolden =
+      R"({"displayTimeUnit":"ms","traceEvents":[)"
+      R"({"args":{"name":"rtoffload sim"},"name":"process_name","ph":"M","pid":0,"tid":0},)"
+      R"({"args":{"name":"camera"},"name":"thread_name","ph":"M","pid":0,"tid":0},)"
+      R"({"args":{"name":"lidar"},"name":"thread_name","ph":"M","pid":0,"tid":1},)"
+      R"({"cat":"sim","name":"release","ph":"i","pid":0,"s":"t","tid":0,"ts":0},)"
+      R"({"cat":"cpu","dur":2,"name":"run job 0","ph":"X","pid":0,"tid":0,"ts":1},)"
+      R"({"cat":"sim","name":"setup-done","ph":"i","pid":0,"s":"t","tid":0,"ts":3},)"
+      R"({"cat":"sim","name":"release","ph":"i","pid":0,"s":"t","tid":1,"ts":4},)"
+      R"({"cat":"cpu","dur":3,"name":"run job 1","ph":"X","pid":0,"tid":1,"ts":5},)"
+      R"({"cat":"sim","name":"job-complete","ph":"i","pid":0,"s":"t","tid":1,"ts":8},)"
+      R"({"cat":"sim","name":"timer-fired","ph":"i","pid":0,"s":"t","tid":0,"ts":9},)"
+      R"({"cat":"cpu","dur":2,"name":"run job 0","ph":"X","pid":0,"tid":0,"ts":10},)"
+      R"({"cat":"sim","name":"job-complete","ph":"i","pid":0,"s":"t","tid":0,"ts":12})"
+      R"(]})";
+  EXPECT_EQ(export_two_task_trace(), kGolden);
+}
+
+TEST(ChromeTrace, StableUnderRerun) {
+  const std::string first = export_two_task_trace();
+  const std::string second = export_two_task_trace();
+  EXPECT_EQ(first, second);
+  // And the document is real JSON that round-trips.
+  const Json doc = Json::parse(first);
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  EXPECT_GT(doc.at("traceEvents").as_array().size(), 0u);
+}
+
+TEST(ChromeTrace, EscapesNamesAndCategories) {
+  obs::ChromeTraceWriter writer;
+  writer.add_instant("quote \" backslash \\ newline \n tab \t", "cat\"egory",
+                     0, 0, 0);
+  writer.name_thread(0, 0, "worker \"0\"");
+  const std::string out = writer.dump();
+  // The serializer must escape, and the document must parse back to the
+  // original strings.
+  const Json doc = Json::parse(out);
+  const Json::Array& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("name").as_string(),
+            "quote \" backslash \\ newline \n tab \t");
+  EXPECT_EQ(events[0].at("cat").as_string(), "cat\"egory");
+  EXPECT_EQ(events[1].at("args").at("name").as_string(), "worker \"0\"");
+}
+
+TEST(ChromeTrace, SubMicrosecondTimestampsKeepPrecision) {
+  obs::ChromeTraceWriter writer;
+  writer.add_complete("slice", "c", 0, 0, 1500, 250);  // 1.5 us, 0.25 us
+  const Json doc = Json::parse(writer.dump());
+  const Json& ev = doc.at("traceEvents").as_array()[0];
+  EXPECT_DOUBLE_EQ(ev.at("ts").as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(ev.at("dur").as_number(), 0.25);
+}
+
+TEST(ChromeTrace, AppendConcatenatesWriters) {
+  obs::ChromeTraceWriter a;
+  a.add_instant("one", "c", 0, 0, 0);
+  obs::ChromeTraceWriter b;
+  b.add_instant("two", "c", 1, 0, 0);
+  a.append(b);
+  EXPECT_EQ(a.event_count(), 2u);
+  const Json doc = Json::parse(a.dump());
+  EXPECT_EQ(doc.at("traceEvents").as_array()[1].at("name").as_string(), "two");
+}
+
+TEST(ChromeTrace, PhaseEventsBecomeWorkerSwimlanes) {
+  obs::Sink sink;
+  sink.phases().push_back(obs::PhaseEvent{"scenario 0", 0, 0, 1000});
+  sink.phases().push_back(obs::PhaseEvent{"scenario 1", 1, 500, 2000});
+  obs::ChromeTraceWriter writer;
+  obs::append_phase_events(writer, sink);
+  // Two thread_name metadata records plus two slices.
+  EXPECT_EQ(writer.event_count(), 4u);
+  const Json doc = Json::parse(writer.dump());
+  const Json::Array& events = doc.at("traceEvents").as_array();
+  EXPECT_EQ(events[0].at("args").at("name").as_string(), "worker 0");
+  EXPECT_EQ(events[1].at("args").at("name").as_string(), "worker 1");
+  EXPECT_EQ(events[2].at("name").as_string(), "scenario 0");
+  EXPECT_DOUBLE_EQ(events[3].at("ts").as_number(), 0.5);
+}
+
+TEST(ChromeTrace, TruncatedTraceClosesOpenSlice) {
+  sim::Trace trace(2);
+  trace.record(TimePoint(0), sim::TraceKind::kRelease, 0, 0);
+  trace.record(TimePoint(1000), sim::TraceKind::kDispatch, 0, 0);
+  trace.record(TimePoint(2000), sim::TraceKind::kJobComplete, 0, 0);  // dropped
+  ASSERT_TRUE(trace.truncated());
+
+  obs::ChromeTraceWriter writer;
+  sim::append_chrome_trace(writer, trace);
+  const Json doc = Json::parse(writer.dump());
+  bool found_slice = false;
+  for (const Json& ev : doc.at("traceEvents").as_array()) {
+    if (ev.at("name").as_string() == "run job 0") found_slice = true;
+  }
+  EXPECT_TRUE(found_slice) << "open dispatch slice must still be exported";
+}
+
+}  // namespace
+}  // namespace rt

@@ -1,0 +1,191 @@
+// Telemetry primitives: counter/gauge/histogram semantics, the registry's
+// create-on-lookup behaviour, order-independent merging, and the snapshot
+// exporters (docs/ANALYSIS.md §8).
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace rt::obs {
+namespace {
+
+TEST(Counter, AccumulatesAndMerges) {
+  Counter a;
+  EXPECT_EQ(a.value(), 0u);
+  a.inc();
+  a.inc(41);
+  EXPECT_EQ(a.value(), 42u);
+
+  Counter b;
+  b.inc(8);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 50u);
+}
+
+TEST(Gauge, MergeKeepsMaximum) {
+  Gauge a;
+  EXPECT_FALSE(a.has_value());
+  a.set(2.0);
+  a.set(5.0);
+  a.set(3.0);  // set() itself keeps the max, so shard joins commute
+  EXPECT_DOUBLE_EQ(a.value(), 5.0);
+
+  Gauge b;
+  b.set(4.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.value(), 5.0);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.value(), 5.0);
+
+  Gauge unset;
+  a.merge(unset);  // merging an unset gauge is a no-op
+  EXPECT_DOUBLE_EQ(a.value(), 5.0);
+}
+
+TEST(LogHistogram, BucketBoundariesArePowersOfTwo) {
+  LogHistogram h;
+  // Bucket 0 holds v <= 0; bucket k >= 1 holds [2^(k-1), 2^k).
+  EXPECT_EQ(LogHistogram::bucket_lo(1), 1);
+  EXPECT_EQ(LogHistogram::bucket_hi(1), 2);
+  EXPECT_EQ(LogHistogram::bucket_lo(11), 1024);
+  EXPECT_EQ(LogHistogram::bucket_hi(11), 2048);
+
+  h.add(0);
+  h.add(-5);
+  h.add(1);
+  h.add(1023);
+  h.add(1024);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(10), 1u);  // 1023 in [512, 1024)
+  EXPECT_EQ(h.bucket_count(11), 1u);  // 1024 in [1024, 2048)
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), -5 + 1 + 1023 + 1024);
+  EXPECT_EQ(h.min(), -5);
+  EXPECT_EQ(h.max(), 1024);
+}
+
+TEST(LogHistogram, ExtremesLandInTerminalBuckets) {
+  LogHistogram h;
+  h.add(std::numeric_limits<std::int64_t>::max());
+  h.add(std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(LogHistogram::kBuckets - 1), 1u);
+}
+
+TEST(LogHistogram, MergeIsElementwiseSum) {
+  LogHistogram a, b;
+  a.add(10);
+  a.add(100);
+  b.add(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 1110);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_DOUBLE_EQ(a.mean(), 370.0);
+
+  LogHistogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 3u);
+  EXPECT_EQ(empty.min(), 10);
+}
+
+TEST(MetricRegistry, LookupCreatesAndReferencesAreStable) {
+  MetricRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  Counter& c = reg.counter("a.count");
+  c.inc();
+  // Creating more metrics must not invalidate the earlier reference
+  // (std::map nodes are stable); call sites cache handles.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler." + std::to_string(i));
+  }
+  c.inc();
+  EXPECT_EQ(reg.counter("a.count").value(), 2u);
+  EXPECT_FALSE(reg.empty());
+
+  EXPECT_NE(reg.find_counter("a.count"), nullptr);
+  EXPECT_EQ(reg.find_counter("missing"), nullptr);
+  EXPECT_EQ(reg.find_gauge("a.count"), nullptr);  // kinds are separate spaces
+  EXPECT_EQ(reg.find_histogram("a.count"), nullptr);
+}
+
+TEST(MetricRegistry, MergeCombinesAllKinds) {
+  MetricRegistry a, b;
+  a.counter("n").inc(1);
+  b.counter("n").inc(2);
+  b.counter("only_b").inc(7);
+  a.gauge("g").set(1.0);
+  b.gauge("g").set(9.0);
+  a.histogram("h").add(4);
+  b.histogram("h").add(8);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("n").value(), 3u);
+  EXPECT_EQ(a.counter("only_b").value(), 7u);
+  EXPECT_DOUBLE_EQ(a.gauge("g").value(), 9.0);
+  EXPECT_EQ(a.histogram("h").count(), 2u);
+  EXPECT_EQ(a.histogram("h").sum(), 12);
+}
+
+TEST(MetricRegistry, SnapshotJsonShape) {
+  MetricRegistry reg;
+  reg.counter("sim.events").inc(5);
+  reg.gauge("worker.rate").set(2.5);
+  reg.histogram("solve_ns").add(100);
+  reg.histogram("solve_ns").add(3000);
+
+  const Json snap = reg.snapshot_json();
+  EXPECT_DOUBLE_EQ(snap.at("counters").at("sim.events").as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(snap.at("gauges").at("worker.rate").as_number(), 2.5);
+  const Json& h = snap.at("histograms").at("solve_ns");
+  EXPECT_DOUBLE_EQ(h.at("count").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(h.at("sum").as_number(), 3100.0);
+  EXPECT_DOUBLE_EQ(h.at("min").as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(h.at("max").as_number(), 3000.0);
+  // Only occupied buckets are exported.
+  EXPECT_EQ(h.at("buckets").as_array().size(), 2u);
+
+  // Identical registries produce byte-identical snapshots (sorted keys).
+  MetricRegistry reg2;
+  reg2.histogram("solve_ns").add(3000);  // insertion order differs
+  reg2.histogram("solve_ns").add(100);
+  reg2.gauge("worker.rate").set(2.5);
+  reg2.counter("sim.events").inc(5);
+  EXPECT_EQ(snap.dump(2), reg2.snapshot_json().dump(2));
+}
+
+TEST(MetricRegistry, SnapshotCsvHasHeaderAndAllMetrics) {
+  MetricRegistry reg;
+  reg.counter("c").inc(3);
+  reg.gauge("g").set(1.5);
+  reg.histogram("h").add(10);
+  const std::string csv = reg.snapshot_csv();
+  EXPECT_NE(csv.find("kind,name,count,sum,min,max,mean"), std::string::npos);
+  EXPECT_NE(csv.find("counter,c,"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,g,"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,h,"), std::string::npos);
+}
+
+TEST(NullSafeHelpers, NullHandlesAreNoOps) {
+  inc(nullptr);
+  inc(nullptr, 100);
+  observe(nullptr, 42);  // must not crash
+
+  Counter c;
+  inc(&c, 2);
+  EXPECT_EQ(c.value(), 2u);
+  LogHistogram h;
+  observe(&h, 7);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+}  // namespace
+}  // namespace rt::obs

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "server/network.hpp"
 
@@ -131,6 +132,45 @@ TEST(NetworkModel, Validation) {
   net = NetworkModel{};
   net.loss_probability = 2.0;
   EXPECT_THROW(net.validate(), std::invalid_argument);
+}
+
+// One regression per rejected field state, including the NaN/inf holes the
+// original `x < 0.0` comparisons let through (NaN compares false).
+TEST(NetworkModel, ValidationRejectsEachBadField) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  EXPECT_NO_THROW(NetworkModel{}.validate());
+
+  NetworkModel net;
+  net.base_latency = Duration::milliseconds(-1);
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+
+  net = NetworkModel{};
+  net.bandwidth_bytes_per_sec = -3.0e6;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+  net.bandwidth_bytes_per_sec = nan;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+  net.bandwidth_bytes_per_sec = inf;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+
+  net = NetworkModel{};
+  net.jitter = nan;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+  net.jitter = inf;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+
+  net = NetworkModel{};
+  net.loss_probability = -0.01;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+  net.loss_probability = nan;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+
+  // Boundary values stay accepted.
+  net = NetworkModel{};
+  net.loss_probability = 1.0;
+  net.jitter = 0.0;
+  EXPECT_NO_THROW(net.validate());
 }
 
 }  // namespace

@@ -6,8 +6,16 @@
 // Usage:
 //   rtoffload_cli <taskset.json> ...    analyze + simulate each file
 //   rtoffload_cli --jobs N f1 f2 ...    process the files on N workers
+//   rtoffload_cli --fig3                run the paper's Figure 3 sweep
 //   rtoffload_cli --sample              print a sample task-set file
 //   rtoffload_cli                       run the built-in sample (demo)
+//
+// Telemetry (docs/ANALYSIS.md §8), available in every mode:
+//   --metrics-out PATH   write a metric snapshot (.csv -> CSV, else JSON)
+//   --trace-out PATH     write a Chrome trace-event JSON timeline; load it
+//                        in ui.perfetto.dev or chrome://tracing. File mode
+//                        renders per-task CPU swimlanes (pid = file index);
+//                        --fig3 renders per-worker scenario swimlanes.
 //
 // With several input files the reports are computed in parallel (--jobs N,
 // default 1) but always printed in argument order; the exit status is the
@@ -19,6 +27,7 @@
 //   horizon_ms, seed, estimation_error, exact_pda (bool)
 // and each task follows core/serialization.hpp.
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -27,8 +36,12 @@
 #include "core/odm.hpp"
 #include "core/schedulability.hpp"
 #include "core/serialization.hpp"
+#include "exp/sweep.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/sink.hpp"
 #include "server/gpu_server.hpp"
 #include "sim/simulator.hpp"
+#include "sim/trace_export.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -67,11 +80,24 @@ const char* kSampleFile = R"({
   ]
 })";
 
+/// Trace buffer per simulated file when --trace-out is given; large enough
+/// for the sample horizons, and truncation is reported, never silent.
+constexpr std::size_t kTraceCapacity = 1 << 16;
+
 rt::mckp::SolverKind parse_solver(const std::string& name) {
   if (name == "dp-profits") return rt::mckp::SolverKind::kDpProfits;
   if (name == "heu-oe") return rt::mckp::SolverKind::kHeuOe;
   if (name == "dp-weights") return rt::mckp::SolverKind::kDpWeights;
   throw std::invalid_argument("unknown solver '" + name + "'");
+}
+
+const char* solver_name(rt::mckp::SolverKind kind) {
+  switch (kind) {
+    case rt::mckp::SolverKind::kDpProfits: return "dp-profits";
+    case rt::mckp::SolverKind::kHeuOe: return "heu-oe";
+    case rt::mckp::SolverKind::kDpWeights: return "dp-weights";
+  }
+  return "?";
 }
 
 std::unique_ptr<rt::server::ResponseModel> parse_scenario(const std::string& name,
@@ -86,7 +112,25 @@ std::unique_ptr<rt::server::ResponseModel> parse_scenario(const std::string& nam
   throw std::invalid_argument("unknown scenario '" + name + "'");
 }
 
-int run(const std::string& text, std::ostream& os) {
+void write_metrics_file(const rt::obs::Sink& sink, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write '" + path + "'");
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+    out << sink.registry().snapshot_csv();
+  } else {
+    out << sink.registry().snapshot_json().dump(2) << "\n";
+  }
+}
+
+void write_trace_file(const rt::obs::ChromeTraceWriter& writer,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write '" + path + "'");
+  writer.write(out);
+}
+
+int run(const std::string& text, std::ostream& os, rt::obs::Sink* sink,
+        rt::obs::ChromeTraceWriter* trace, int pid) {
   using namespace rt;
   const Json doc = Json::parse(text);
   const core::TaskSet tasks = core::task_set_from_json(doc);
@@ -97,6 +141,7 @@ int run(const std::string& text, std::ostream& os) {
   core::OdmConfig odm_cfg;
   odm_cfg.solver = parse_solver(config.string_or("solver", "dp-profits"));
   odm_cfg.estimation_error = config.number_or("estimation_error", 0.0);
+  odm_cfg.sink = sink;
   const core::OdmResult odm = core::decide_offloading(tasks, odm_cfg);
 
   Json::Object report;
@@ -119,7 +164,16 @@ int run(const std::string& text, std::ostream& os) {
   sim::SimConfig sim_cfg;
   sim_cfg.horizon = Duration::from_ms(config.number_or("horizon_ms", 10'000.0));
   sim_cfg.seed = seed;
+  sim_cfg.sink = sink;
+  if (trace != nullptr) sim_cfg.trace_capacity = kTraceCapacity;
   const sim::SimResult res = sim::simulate(tasks, odm.decisions, *srv, sim_cfg);
+
+  if (trace != nullptr) {
+    std::vector<std::string> names;
+    names.reserve(tasks.size());
+    for (const auto& t : tasks) names.push_back(t.name);
+    sim::append_chrome_trace(*trace, res.trace, names, pid);
+  }
 
   Json::Object sim_obj;
   sim_obj["released"] = static_cast<std::int64_t>(res.metrics.total_released());
@@ -132,6 +186,7 @@ int run(const std::string& text, std::ostream& os) {
       static_cast<std::int64_t>(res.metrics.total_compensations());
   sim_obj["total_benefit"] = res.metrics.total_benefit();
   sim_obj["cpu_utilization"] = res.metrics.cpu_utilization();
+  sim_obj["trace_truncated"] = res.metrics.trace_truncated;
   Json::Array per_task;
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     const auto& m = res.metrics.per_task[i];
@@ -152,11 +207,18 @@ int run(const std::string& text, std::ostream& os) {
 }
 
 // Analyze every file on `jobs` workers; reports print in argument order.
-int run_files(const std::vector<std::string>& files, unsigned jobs) {
+// Telemetry is collected per file (its own sink / trace track) and merged
+// in that same order, so the outputs are identical for every jobs value.
+int run_files(const std::vector<std::string>& files, unsigned jobs,
+              const std::string& metrics_out, const std::string& trace_out) {
+  const bool want_metrics = !metrics_out.empty();
+  const bool want_trace = !trace_out.empty();
   struct FileResult {
     std::string output;  // report JSON, or empty on error
     std::string error;
     int code = 0;
+    std::unique_ptr<rt::obs::Sink> sink;
+    std::unique_ptr<rt::obs::ChromeTraceWriter> trace;
   };
   std::vector<FileResult> results(files.size());
 
@@ -164,6 +226,8 @@ int run_files(const std::vector<std::string>& files, unsigned jobs) {
                          [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       FileResult& r = results[i];
+      if (want_metrics) r.sink = std::make_unique<rt::obs::Sink>();
+      if (want_trace) r.trace = std::make_unique<rt::obs::ChromeTraceWriter>();
       try {
         std::ifstream in(files[i]);
         if (!in) {
@@ -174,7 +238,8 @@ int run_files(const std::vector<std::string>& files, unsigned jobs) {
         std::ostringstream buf;
         buf << in.rdbuf();
         std::ostringstream report;
-        r.code = run(buf.str(), report);
+        r.code = run(buf.str(), report, r.sink.get(), r.trace.get(),
+                     static_cast<int>(i));
         r.output = report.str();
       } catch (const std::exception& e) {
         r.error = std::string("error: ") + e.what() + " (in '" + files[i] + "')";
@@ -183,14 +248,53 @@ int run_files(const std::vector<std::string>& files, unsigned jobs) {
     }
   });
 
+  rt::obs::Sink merged;
+  rt::obs::ChromeTraceWriter merged_trace;
   int worst = 0;
-  for (const FileResult& r : results) {
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const FileResult& r = results[i];
     if (!r.output.empty()) std::cout << r.output;
     if (!r.error.empty()) std::cerr << r.error << "\n";
+    if (r.sink != nullptr) merged.absorb(*r.sink, static_cast<std::uint32_t>(i));
+    if (r.trace != nullptr) merged_trace.append(*r.trace);
     // 1 (hard error) outranks 2 (deadline misses) outranks 0.
     if (r.code != 0 && (worst == 0 || r.code < worst)) worst = r.code;
   }
+  if (want_metrics) write_metrics_file(merged, metrics_out);
+  if (want_trace) write_trace_file(merged_trace, trace_out);
   return worst;
+}
+
+// The paper's Figure 3 sweep with batch telemetry: per-worker scenario
+// swimlanes in the trace, odm/mckp/sim counters in the metrics snapshot.
+int run_fig3(unsigned jobs, double horizon_ms, const std::string& metrics_out,
+             const std::string& trace_out) {
+  rt::exp::Fig3SweepConfig cfg;
+  cfg.horizon = rt::Duration::from_ms(horizon_ms);
+  cfg.batch.jobs = jobs;
+  rt::obs::Sink sink;
+  const bool want_telemetry = !metrics_out.empty() || !trace_out.empty();
+  cfg.sink = want_telemetry ? &sink : nullptr;
+
+  const rt::exp::Fig3SweepResult result = rt::exp::run_fig3_sweep(cfg);
+
+  std::printf("%8s  %-10s  %10s  %10s  %7s\n", "error", "solver", "analytic",
+              "simulated", "misses");
+  for (const rt::exp::Fig3Cell& c : result.cells) {
+    std::printf("%+7.0f%%  %-10s  %10.3f  %10.3f  %7llu\n", c.error * 100.0,
+                solver_name(c.solver), c.analytic, c.simulated,
+                static_cast<unsigned long long>(c.misses));
+  }
+  std::printf("total misses: %llu\n",
+              static_cast<unsigned long long>(result.total_misses));
+
+  if (!metrics_out.empty()) write_metrics_file(sink, metrics_out);
+  if (!trace_out.empty()) {
+    rt::obs::ChromeTraceWriter writer;
+    rt::obs::append_phase_events(writer, sink);
+    write_trace_file(writer, trace_out);
+  }
+  return result.total_misses == 0 ? 0 : 2;
 }
 
 }  // namespace
@@ -198,7 +302,17 @@ int run_files(const std::vector<std::string>& files, unsigned jobs) {
 int main(int argc, char** argv) {
   try {
     unsigned jobs = 1;
+    bool fig3 = false;
+    double horizon_ms = 20'000.0;
+    std::string metrics_out;
+    std::string trace_out;
     std::vector<std::string> files;
+    const auto need_value = [&](int& i, const std::string& flag) -> const char* {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument(flag + " needs a value");
+      }
+      return argv[++i];
+    };
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--sample") {
@@ -206,24 +320,45 @@ int main(int argc, char** argv) {
         return 0;
       }
       if (arg == "-h" || arg == "--help") {
-        std::cout << "usage: rtoffload_cli [--jobs N] [taskset.json ...] | "
-                     "--sample\n"
+        std::cout << "usage: rtoffload_cli [--jobs N] [--metrics-out PATH] "
+                     "[--trace-out PATH]\n"
+                     "                     [taskset.json ...] | --fig3 "
+                     "[--horizon-ms MS] | --sample\n"
                      "With no input files, runs the built-in sample task "
                      "set.\nSeveral files are analyzed on N workers (default "
-                     "1) and reported in argument order.\n";
+                     "1) and reported in argument order.\n--fig3 runs the "
+                     "paper's Figure 3 sweep (default horizon 20000 ms).\n"
+                     "--metrics-out writes a telemetry snapshot (.csv for "
+                     "CSV, JSON otherwise);\n--trace-out writes a Chrome "
+                     "trace-event timeline for ui.perfetto.dev.\n";
         return 0;
       }
-      if (arg == "--jobs" || arg == "-j") {
-        if (i + 1 >= argc) {
-          std::cerr << "error: --jobs needs a value\n";
+      if (arg == "--fig3") {
+        fig3 = true;
+        continue;
+      }
+      if (arg == "--metrics-out") {
+        metrics_out = need_value(i, arg);
+        continue;
+      }
+      if (arg == "--trace-out") {
+        trace_out = need_value(i, arg);
+        continue;
+      }
+      if (arg == "--horizon-ms") {
+        horizon_ms = std::stod(need_value(i, arg));
+        if (!(horizon_ms > 0.0)) {
+          std::cerr << "error: --horizon-ms must be > 0\n";
           return 1;
         }
+        continue;
+      }
+      if (arg == "--jobs" || arg == "-j") {
         int v = 0;
         try {
-          v = std::stoi(argv[++i]);
-        } catch (const std::exception&) {
-          std::cerr << "error: --jobs expects a number, got '" << argv[i]
-                    << "'\n";
+          v = std::stoi(need_value(i, arg));
+        } catch (const std::invalid_argument&) {
+          std::cerr << "error: --jobs expects a number\n";
           return 1;
         }
         if (v < 0) {
@@ -235,11 +370,27 @@ int main(int argc, char** argv) {
       }
       files.push_back(arg);
     }
+    if (fig3) {
+      if (!files.empty()) {
+        std::cerr << "error: --fig3 takes no input files\n";
+        return 1;
+      }
+      return run_fig3(jobs, horizon_ms, metrics_out, trace_out);
+    }
     if (files.empty()) {
       std::cerr << "(no input file: running the built-in sample; see --help)\n";
-      return run(kSampleFile, std::cout);
+      rt::obs::Sink sink;
+      rt::obs::ChromeTraceWriter trace;
+      const bool want_metrics = !metrics_out.empty();
+      const bool want_trace = !trace_out.empty();
+      const int code = run(kSampleFile, std::cout,
+                           want_metrics ? &sink : nullptr,
+                           want_trace ? &trace : nullptr, 0);
+      if (want_metrics) write_metrics_file(sink, metrics_out);
+      if (want_trace) write_trace_file(trace, trace_out);
+      return code;
     }
-    return run_files(files, jobs);
+    return run_files(files, jobs, metrics_out, trace_out);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
