@@ -21,9 +21,26 @@ BatchRunner::BatchRunner(BatchConfig config) : config_(config) {
 
 BatchRunner::~BatchRunner() = default;
 
+BatchRunner::EngineLease::EngineLease(const BatchRunner& runner)
+    : runner_(runner) {
+  std::lock_guard<std::mutex> lock(runner_.engines_mutex_);
+  if (!runner_.engines_.empty()) {
+    engine_ = std::move(runner_.engines_.back());
+    runner_.engines_.pop_back();
+  } else {
+    engine_ = std::make_unique<sim::SimEngine>();
+  }
+}
+
+BatchRunner::EngineLease::~EngineLease() {
+  std::lock_guard<std::mutex> lock(runner_.engines_mutex_);
+  runner_.engines_.push_back(std::move(engine_));
+}
+
 ScenarioOutcome BatchRunner::run_one(const ScenarioSpec& spec,
                                      std::size_t index,
-                                     obs::Sink* shard) const {
+                                     obs::Sink* shard,
+                                     sim::SimEngine& engine) const {
   ScenarioOutcome out;
   out.index = index;
   out.tag = spec.tag;
@@ -41,7 +58,7 @@ ScenarioOutcome BatchRunner::run_one(const ScenarioSpec& spec,
     cfg.seed = scenario_seed(config_.base_seed, index);
     cfg.sink = shard;
     const sim::SimResult res =
-        sim::simulate(spec.tasks, out.decisions, *srv, cfg, spec.profile);
+        engine.run(spec.tasks, out.decisions, *srv, cfg, spec.profile);
     out.metrics = res.metrics;
     if (shard != nullptr && res.metrics.trace_truncated) {
       shard->registry().counter("batch.traces_truncated").inc();
@@ -54,8 +71,10 @@ std::vector<ScenarioOutcome> BatchRunner::run(
     const std::vector<ScenarioSpec>& specs, obs::Sink* sink) {
   std::vector<ScenarioOutcome> out(specs.size());
   if (sink == nullptr) {
-    for_each(specs.size(),
-             [&](std::size_t i, Rng&) { out[i] = run_one(specs[i], i, nullptr); });
+    for_each(specs.size(), [&](std::size_t i, Rng&) {
+      EngineLease lease(*this);
+      out[i] = run_one(specs[i], i, nullptr, lease.engine());
+    });
     return out;
   }
 
@@ -65,7 +84,8 @@ std::vector<ScenarioOutcome> BatchRunner::run(
     obs::Sink& shard = shards.local();
     obs::PhaseProbe probe(&shard, "scenario " + std::to_string(i),
                           &shard.registry().histogram("batch.scenario_ns"));
-    out[i] = run_one(specs[i], i, &shard);
+    EngineLease lease(*this);
+    out[i] = run_one(specs[i], i, &shard, lease.engine());
     shard.registry().counter("batch.scenarios").inc();
   });
   const std::int64_t t1_ns = sink->now_ns();

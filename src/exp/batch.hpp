@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "core/odm.hpp"
 #include "core/task.hpp"
 #include "server/response_model.hpp"
+#include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -113,11 +115,32 @@ class BatchRunner {
 
  private:
   ScenarioOutcome run_one(const ScenarioSpec& spec, std::size_t index,
-                          obs::Sink* shard) const;
+                          obs::Sink* shard, sim::SimEngine& engine) const;
+
+  /// Checks a reusable simulation engine out of the runner-owned pool
+  /// (creating one on first use) and returns it at scope exit. Engines
+  /// persist across run() calls, so each worker's slot pools, heaps, and
+  /// trace buffer amortize over the whole batch instead of being rebuilt
+  /// per scenario (docs/ANALYSIS.md §9).
+  class EngineLease {
+   public:
+    explicit EngineLease(const BatchRunner& runner);
+    ~EngineLease();
+    EngineLease(const EngineLease&) = delete;
+    EngineLease& operator=(const EngineLease&) = delete;
+    [[nodiscard]] sim::SimEngine& engine() { return *engine_; }
+
+   private:
+    const BatchRunner& runner_;
+    std::unique_ptr<sim::SimEngine> engine_;
+  };
 
   BatchConfig config_;
   unsigned jobs_ = 1;
   std::unique_ptr<util::ThreadPool> pool_;  ///< null when jobs_ == 1
+  /// Idle reusable engines; at most one per concurrently active worker.
+  mutable std::mutex engines_mutex_;
+  mutable std::vector<std::unique_ptr<sim::SimEngine>> engines_;
 };
 
 }  // namespace rt::exp

@@ -111,6 +111,10 @@ struct SimResult {
 /// Runs the simulation. `decisions[i]` applies to `tasks[i]`; the response
 /// model is shared by all offloads (it is the server). The model is used
 /// in non-decreasing send-time order as required by stateful models.
+///
+/// One-shot wrapper over the reusable zero-allocation SimEngine
+/// (engine.hpp, docs/ANALYSIS.md §9); callers running many simulations
+/// should hold a SimEngine per worker so its buffers amortize.
 SimResult simulate(const core::TaskSet& tasks, const core::DecisionVector& decisions,
                    server::ResponseModel& server, const SimConfig& config,
                    const RequestProfile& profile = {});

@@ -26,18 +26,20 @@ std::string TraceEvent::to_string() const {
   return oss.str();
 }
 
-void Trace::record(TimePoint time, TraceKind kind, std::size_t task,
-                   std::uint64_t job) {
-  if (capacity_ == 0) return;
-  if (events_.size() >= capacity_) {
-    truncated_ = true;
-    return;
-  }
-  events_.push_back(TraceEvent{time, kind, task, job});
+void Trace::reset(std::size_t capacity) {
+  capacity_ = capacity;
+  truncated_ = false;
+  events_.clear();
+  if (capacity_ > 0) events_.reserve(capacity_);
 }
 
 std::vector<TraceEvent> Trace::filter(TraceKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) ++n;
+  }
   std::vector<TraceEvent> out;
+  out.reserve(n);
   for (const auto& e : events_) {
     if (e.kind == kind) out.push_back(e);
   }

@@ -34,9 +34,25 @@ struct TraceEvent {
 
 class Trace {
  public:
-  explicit Trace(std::size_t capacity = 0) : capacity_(capacity) {}
+  explicit Trace(std::size_t capacity = 0) : capacity_(capacity) {
+    if (capacity_ > 0) events_.reserve(capacity_);
+  }
 
-  void record(TimePoint time, TraceKind kind, std::size_t task, std::uint64_t job);
+  /// Clears the trace and re-arms it with a new capacity, keeping whatever
+  /// buffer is already allocated. When enabled (capacity > 0) the full
+  /// capacity is reserved up front so record() never reallocates.
+  void reset(std::size_t capacity);
+
+  /// Inline so the disabled path (the engine's default) costs one branch.
+  void record(TimePoint time, TraceKind kind, std::size_t task,
+              std::uint64_t job) {
+    if (capacity_ == 0) return;
+    if (events_.size() >= capacity_) {
+      truncated_ = true;
+      return;
+    }
+    events_.push_back(TraceEvent{time, kind, task, job});
+  }
 
   [[nodiscard]] bool enabled() const { return capacity_ > 0; }
   [[nodiscard]] bool truncated() const { return truncated_; }

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -14,8 +16,14 @@
 namespace rt {
 namespace {
 
+/// ctest runs each TEST above as its own process (gtest_discover_tests),
+/// so scratch files must be per-process or parallel runs race on them.
+std::string scratch_path(const std::string& stem) {
+  return "/tmp/rtoffload_cli_" + std::to_string(getpid()) + "_" + stem;
+}
+
 std::string run_capture(const std::string& cmd, int* exit_code) {
-  const std::string out_path = "/tmp/rtoffload_cli_test_out.txt";
+  const std::string out_path = scratch_path("out.txt");
   const int rc = std::system((cmd + " > " + out_path + " 2>/dev/null").c_str());
   *exit_code = WEXITSTATUS(rc);
   std::ifstream in(out_path);
@@ -32,7 +40,7 @@ TEST(CliTool, SampleRoundTripProducesCleanReport) {
   // The sample itself must parse.
   ASSERT_NO_THROW((void)Json::parse(sample));
 
-  const std::string in_path = "/tmp/rtoffload_cli_test_in.json";
+  const std::string in_path = scratch_path("in.json");
   {
     std::ofstream out(in_path);
     out << sample;
@@ -66,7 +74,7 @@ TEST(CliTool, HelpAndMissingFile) {
 }
 
 TEST(CliTool, MalformedInputFailsCleanly) {
-  const std::string in_path = "/tmp/rtoffload_cli_bad.json";
+  const std::string in_path = scratch_path("bad.json");
   {
     std::ofstream out(in_path);
     out << "{\"tasks\": [{\"name\": \"broken\"}]}";

@@ -9,6 +9,8 @@
 #include "core/odm.hpp"
 #include "core/workload.hpp"
 #include "server/gpu_server.hpp"
+#include "sim/engine.hpp"
+#include "sim/reference_engine.hpp"
 #include "sim/simulator.hpp"
 
 namespace rt::sim {
@@ -120,6 +122,110 @@ TEST(Conservation, BenefitIsBoundedByReleasesTimesMaxValue) {
                        std::max(1.0, s.tasks[i].benefit.max_value());
     EXPECT_LE(m.accrued_benefit, cap + 1e-9);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: the zero-allocation engine (engine.hpp) must reproduce the
+// seed engine (reference_engine.hpp) bit for bit -- every metric field and
+// every trace event -- across the full scheduler x deadline x release grid.
+
+void expect_bit_identical(const SimResult& ref, const SimResult& opt,
+                          const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(ref.metrics.per_task.size(), opt.metrics.per_task.size());
+  EXPECT_EQ(ref.metrics.cpu_busy_ns, opt.metrics.cpu_busy_ns);
+  EXPECT_EQ(ref.metrics.context_switches, opt.metrics.context_switches);
+  EXPECT_EQ(ref.metrics.trace_truncated, opt.metrics.trace_truncated);
+  EXPECT_EQ(ref.metrics.end_time.ns(), opt.metrics.end_time.ns());
+  for (std::size_t i = 0; i < ref.metrics.per_task.size(); ++i) {
+    SCOPED_TRACE("task " + std::to_string(i));
+    const auto& x = ref.metrics.per_task[i];
+    const auto& y = opt.metrics.per_task[i];
+    EXPECT_EQ(x.released, y.released);
+    EXPECT_EQ(x.completed, y.completed);
+    EXPECT_EQ(x.deadline_misses, y.deadline_misses);
+    EXPECT_EQ(x.local_runs, y.local_runs);
+    EXPECT_EQ(x.offload_attempts, y.offload_attempts);
+    EXPECT_EQ(x.timely_results, y.timely_results);
+    EXPECT_EQ(x.compensations, y.compensations);
+    EXPECT_EQ(x.late_results, y.late_results);
+    // Benefit and response stats accumulate in the same order, so they are
+    // bit-equal, not merely close.
+    EXPECT_EQ(x.accrued_benefit, y.accrued_benefit);
+    EXPECT_EQ(x.observed_response_ms.count(), y.observed_response_ms.count());
+    EXPECT_EQ(x.observed_response_ms.sum(), y.observed_response_ms.sum());
+    EXPECT_EQ(x.observed_response_ms.mean(), y.observed_response_ms.mean());
+    EXPECT_EQ(x.observed_response_ms.min(), y.observed_response_ms.min());
+    EXPECT_EQ(x.observed_response_ms.max(), y.observed_response_ms.max());
+  }
+  const auto& re = ref.trace.events();
+  const auto& oe = opt.trace.events();
+  ASSERT_EQ(re.size(), oe.size());
+  for (std::size_t i = 0; i < re.size(); ++i) {
+    EXPECT_EQ(re[i].time.ns(), oe[i].time.ns()) << "trace event " << i;
+    EXPECT_EQ(re[i].kind, oe[i].kind) << "trace event " << i;
+    EXPECT_EQ(re[i].task, oe[i].task) << "trace event " << i;
+    EXPECT_EQ(re[i].job, oe[i].job) << "trace event " << i;
+  }
+}
+
+TEST(Differential, EngineMatchesReferenceAcrossConfigGrid) {
+  const SchedulerPolicy scheds[] = {SchedulerPolicy::kEdf,
+                                    SchedulerPolicy::kFixedPriorityDm};
+  const DeadlinePolicy deadlines[] = {DeadlinePolicy::kSplit,
+                                      DeadlinePolicy::kNaive};
+  const ReleasePolicy releases[] = {ReleasePolicy::kPeriodic,
+                                    ReleasePolicy::kSporadic};
+  SimEngine engine;  // one engine reused across the whole grid
+  Rng meta(0xD1FFu);
+  for (int round = 0; round < 3; ++round) {
+    const Fixture s = make_setup(100 + static_cast<std::uint64_t>(round));
+    for (const auto sched : scheds) {
+      for (const auto dl : deadlines) {
+        for (const auto rel : releases) {
+          SimConfig cfg;
+          cfg.horizon = Duration::seconds(5);
+          cfg.seed = meta.next();
+          cfg.exec_policy = ExecTimePolicy::kUniformFraction;
+          cfg.exec_min_fraction = meta.uniform(0.3, 0.9);
+          cfg.release_policy = rel;
+          cfg.sporadic_slack = meta.uniform(0.05, 0.4);
+          cfg.scheduler_policy = sched;
+          cfg.deadline_policy = dl;
+          cfg.trace_capacity = 50'000;
+          const auto scenario =
+              round % 2 == 0 ? server::Scenario::kNotBusy : server::Scenario::kBusy;
+          auto srv_ref = server::make_scenario_server(scenario, 3);
+          auto srv_opt = server::make_scenario_server(scenario, 3);
+          const SimResult ref =
+              simulate_reference(s.tasks, s.decisions, *srv_ref, cfg);
+          const SimResult opt = engine.run(s.tasks, s.decisions, *srv_opt, cfg);
+          expect_bit_identical(
+              ref, opt,
+              "round=" + std::to_string(round) +
+                  " sched=" + (sched == SchedulerPolicy::kEdf ? "edf" : "fp") +
+                  " dl=" + (dl == DeadlinePolicy::kSplit ? "split" : "naive") +
+                  " rel=" + (rel == ReleasePolicy::kPeriodic ? "per" : "spor"));
+        }
+      }
+    }
+  }
+}
+
+TEST(Differential, SimulateWrapperMatchesReferenceWithTruncatedTrace) {
+  // Tiny trace capacity exercises the truncation flag on both engines.
+  const Fixture s = make_setup(21);
+  SimConfig cfg;
+  cfg.horizon = 10_s;
+  cfg.seed = 99;
+  cfg.exec_policy = ExecTimePolicy::kUniformFraction;
+  cfg.trace_capacity = 64;
+  auto srv_a = server::make_scenario_server(server::Scenario::kBusy, 2);
+  auto srv_b = server::make_scenario_server(server::Scenario::kBusy, 2);
+  const SimResult ref = simulate_reference(s.tasks, s.decisions, *srv_a, cfg);
+  const SimResult opt = simulate(s.tasks, s.decisions, *srv_b, cfg);
+  EXPECT_TRUE(ref.metrics.trace_truncated);
+  expect_bit_identical(ref, opt, "truncated-trace");
 }
 
 }  // namespace
