@@ -1,0 +1,222 @@
+// Degraded-mode benefit retention under scripted server faults
+// (docs/ANALYSIS.md §10, BENCH_adaptive.json).
+//
+// One paper-generator task set; the server's true response distribution is
+// the benefit function itself (the Figure 3 setting, where the benefit IS
+// the probability of a timely higher-performance result). Mid-run, a fault
+// window [15 s, 45 s) inflates every response by a severity factor f and
+// drops a quarter of the requests. Three policies per severity:
+//
+//   * baseline -- the static ODM vector, no faults (the ceiling);
+//   * static   -- the same vector riding out the fault window: every
+//                 offload burns its setup budget, the compensation timer
+//                 fires, benefit G(0) = 0 accrues;
+//   * adaptive -- the rt/health.hpp controller switching, at job release
+//                 boundaries, to a pessimistic ODM vector computed with
+//                 estimation_error = f - 1 (its windows (1 + x) r = f r
+//                 admit the inflated responses), then recovering after the
+//                 window passes.
+//
+// Severities stay modest (f <= 3): beyond that the pessimistic ODM cannot
+// fit any window under the deadlines and degrades to all-local, where
+// static and adaptive tie by construction (compensation and local both earn
+// G(0)).
+//
+// Static and adaptive runs share per-index scenario seeds (two BatchRunner
+// runs over index-aligned spec vectors), so each severity is a paired
+// comparison. Reported per f: accrued benefit, retention vs baseline, mode
+// switches, time in degraded mode, deadline misses (must be 0 -- the
+// guarantee holds in both modes). Exit 0 iff adaptive strictly beats static
+// at every severity with zero misses anywhere.
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/odm.hpp"
+#include "core/workload.hpp"
+#include "exp/batch.hpp"
+#include "rt/health.hpp"
+#include "server/faults.hpp"
+#include "sim/benefit_response.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace rt;
+
+namespace {
+
+constexpr double kSeverities[] = {1.5, 2.0, 3.0};
+const Duration kHorizon = Duration::seconds(60);
+const TimePoint kFaultStart = TimePoint::zero() + Duration::seconds(15);
+const TimePoint kFaultEnd = TimePoint::zero() + Duration::seconds(45);
+
+server::FaultScript make_script(double factor) {
+  server::FaultScript script;
+  script.seed = 0xFA01;
+  server::FaultClause slow;
+  slow.kind = server::FaultKind::kSlowdown;
+  slow.start = kFaultStart;
+  slow.end = kFaultEnd;
+  slow.factor = factor;
+  server::FaultClause burst;
+  burst.kind = server::FaultKind::kDropBurst;
+  burst.start = kFaultStart;
+  burst.end = kFaultEnd;
+  burst.drop_probability = 0.25;
+  script.clauses = {slow, burst};
+  script.validate();
+  return script;
+}
+
+health::HealthConfig make_health_config() {
+  health::HealthConfig hc;
+  // The healthy shadow-timely rate in this setting is the mean G_i(r_level)
+  // over the offloaded tasks -- around 0.6, not 1.0 -- so the thresholds
+  // sit well below the library defaults.
+  hc.window = 32;
+  hc.min_samples = 8;
+  hc.degrade_below = 0.3;
+  hc.recover_above = 0.5;
+  hc.min_normal_dwell = Duration::seconds(1);
+  hc.min_degraded_dwell = Duration::seconds(2);
+  hc.validate();
+  return hc;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Adaptive degraded-mode benefit retention under "
+               "scripted faults ===\n\n";
+
+  Rng rng(20140601);
+  core::PaperSimConfig workload;
+  workload.num_tasks = 12;
+  const core::TaskSet tasks = core::make_paper_simulation_taskset(rng, workload);
+
+  std::vector<core::BenefitFunction> gs;
+  gs.reserve(tasks.size());
+  for (const auto& t : tasks) gs.push_back(t.benefit);
+  const sim::BenefitDrivenResponse proto(gs);
+
+  core::OdmConfig odm;
+  odm.apply_task_weights = false;
+  const core::DecisionVector static_decisions =
+      core::decide_offloading(tasks, odm).decisions;
+
+  sim::SimConfig sim_cfg;
+  sim_cfg.horizon = kHorizon;
+  sim_cfg.benefit_semantics = sim::BenefitSemantics::kTimelyCount;
+  // Uniform-fraction execution leaves the transient around a mode switch
+  // some slack; deadline misses are still counted and asserted zero below.
+  sim_cfg.exec_policy = sim::ExecTimePolicy::kUniformFraction;
+
+  const health::HealthConfig hc = make_health_config();
+
+  // Index-aligned spec vectors: [0] = fault-free baseline, [1 + k] =
+  // severity k. Two runs over the same BatchRunner pair the seeds.
+  std::vector<exp::ScenarioSpec> static_specs, adaptive_specs;
+  const auto push_spec = [&](std::vector<exp::ScenarioSpec>& specs,
+                             std::shared_ptr<const server::ResponseModel> srv,
+                             std::shared_ptr<const health::ModeControllerConfig>
+                                 adaptive) {
+    exp::ScenarioSpec spec;
+    spec.tasks = tasks;
+    spec.decisions = static_decisions;
+    spec.server = std::move(srv);
+    spec.sim = sim_cfg;
+    spec.adaptive = std::move(adaptive);
+    specs.push_back(std::move(spec));
+  };
+
+  const std::shared_ptr<const server::ResponseModel> healthy = proto.clone();
+  push_spec(static_specs, healthy, nullptr);
+  push_spec(adaptive_specs, healthy, nullptr);  // index filler: same baseline
+  std::vector<double> envelopes;
+  for (const double f : kSeverities) {
+    const auto faulty = std::make_shared<const server::FaultInjector>(
+        proto.clone(), make_script(f));
+    push_spec(static_specs, faulty, nullptr);
+
+    core::OdmConfig pessimistic = odm;
+    pessimistic.estimation_error = f - 1.0;
+    auto mc = std::make_shared<health::ModeControllerConfig>();
+    mc->health = hc;
+    mc->degraded = core::decide_offloading(tasks, pessimistic).decisions;
+    envelopes.push_back(
+        health::switch_envelope_density(tasks, static_decisions, mc->degraded));
+    push_spec(adaptive_specs, faulty, std::move(mc));
+  }
+
+  exp::BatchConfig batch;
+  batch.jobs = util::default_jobs();
+  exp::BatchRunner runner(batch);
+  const std::vector<exp::ScenarioOutcome> static_out = runner.run(static_specs);
+  const std::vector<exp::ScenarioOutcome> adaptive_out =
+      runner.run(adaptive_specs);
+
+  const double baseline = static_out[0].metrics.total_benefit();
+  if (baseline <= 0.0) {
+    std::cerr << "baseline benefit is zero -- workload misconfigured\n";
+    return 1;
+  }
+
+  Table table({"severity f", "static benefit", "adaptive benefit",
+               "static retention", "adaptive retention", "switches",
+               "degraded ms", "misses"});
+  Json::Array rows;
+  std::uint64_t total_misses = 0;
+  bool adaptive_wins = true;
+  for (std::size_t k = 0; k < std::size(kSeverities); ++k) {
+    const sim::SimMetrics& st = static_out[1 + k].metrics;
+    const sim::SimMetrics& ad = adaptive_out[1 + k].metrics;
+    const double st_benefit = st.total_benefit();
+    const double ad_benefit = ad.total_benefit();
+    const std::uint64_t misses =
+        st.total_deadline_misses() + ad.total_deadline_misses();
+    total_misses += misses;
+    if (!(ad_benefit > st_benefit)) adaptive_wins = false;
+    const double degraded_ms =
+        static_cast<double>(ad.time_in_degraded_ns) / 1e6;
+    table.add_row({Table::fmt(kSeverities[k]), Table::fmt(st_benefit),
+                   Table::fmt(ad_benefit), Table::fmt(st_benefit / baseline),
+                   Table::fmt(ad_benefit / baseline),
+                   std::to_string(ad.mode_changes), Table::fmt(degraded_ms),
+                   std::to_string(misses)});
+    rows.push_back(Json(Json::Object{
+        {"severity", Json(kSeverities[k])},
+        {"static_benefit", Json(st_benefit)},
+        {"adaptive_benefit", Json(ad_benefit)},
+        {"static_retention", Json(st_benefit / baseline)},
+        {"adaptive_retention", Json(ad_benefit / baseline)},
+        {"mode_changes", Json(static_cast<std::int64_t>(ad.mode_changes))},
+        {"time_in_degraded_ms", Json(degraded_ms)},
+        {"static_misses",
+         Json(static_cast<std::int64_t>(st.total_deadline_misses()))},
+        {"adaptive_misses",
+         Json(static_cast<std::int64_t>(ad.total_deadline_misses()))},
+        {"switch_envelope_density", Json(envelopes[k])},
+    }));
+  }
+  table.print(std::cout);
+
+  const Json report(Json::Object{
+      {"benchmark", Json("adaptive")},
+      {"horizon_ms", Json(kHorizon.ms())},
+      {"fault_window_ms",
+       Json(Json::Array{Json((kFaultStart - TimePoint::zero()).ms()),
+                        Json((kFaultEnd - TimePoint::zero()).ms())})},
+      {"baseline_benefit", Json(baseline)},
+      {"severities", Json(rows)},
+  });
+  std::ofstream out("BENCH_adaptive.json");
+  out << report.dump(2) << "\n";
+  std::cout << "\nWrote BENCH_adaptive.json\n"
+            << "Deadline misses across all runs (must be 0): " << total_misses
+            << "\nAdaptive strictly beats static at every severity: "
+            << (adaptive_wins ? "yes" : "NO") << "\n";
+  return (total_misses == 0 && adaptive_wins) ? 0 : 1;
+}

@@ -57,6 +57,13 @@ ScenarioOutcome BatchRunner::run_one(const ScenarioSpec& spec,
     sim::SimConfig cfg = spec.sim;
     cfg.seed = scenario_seed(config_.base_seed, index);
     cfg.sink = shard;
+    // Fresh controller per scenario (never the caller's: it is stateful).
+    cfg.controller = nullptr;
+    std::optional<health::ModeController> controller;
+    if (spec.adaptive != nullptr) {
+      controller.emplace(*spec.adaptive);
+      cfg.controller = &*controller;
+    }
     const sim::SimResult res =
         engine.run(spec.tasks, out.decisions, *srv, cfg, spec.profile);
     out.metrics = res.metrics;

@@ -26,6 +26,7 @@
 #include "core/decision.hpp"
 #include "core/odm.hpp"
 #include "core/task.hpp"
+#include "rt/health.hpp"
 #include "server/response_model.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
@@ -63,8 +64,15 @@ struct ScenarioSpec {
   /// nullptr skips the simulation (ODM-only sweeps).
   std::shared_ptr<const server::ResponseModel> server;
   /// Simulation parameters. `sim.seed` is ignored and replaced by
-  /// scenario_seed(base_seed, index).
+  /// scenario_seed(base_seed, index); `sim.controller` is likewise ignored
+  /// (a caller-set controller would be shared across scenarios, which the
+  /// stateful single-threaded ModeController forbids) -- use `adaptive`.
   sim::SimConfig sim;
+  /// Adaptive degraded-mode control (rt/health.hpp): when set, every
+  /// scenario simulates with its own ModeController built from this shared
+  /// prototype, so outcomes stay bit-identical for every worker count.
+  /// nullptr (the default) simulates the static vector only.
+  std::shared_ptr<const health::ModeControllerConfig> adaptive;
   sim::RequestProfile profile;
   /// Opaque caller bookkeeping (e.g. grid coordinates), copied to the
   /// outcome.

@@ -1,0 +1,165 @@
+#include "rt/health.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "core/schedulability.hpp"
+
+namespace rt::health {
+
+const char* to_string(Mode mode) {
+  switch (mode) {
+    case Mode::kNormal: return "normal";
+    case Mode::kDegraded: return "degraded";
+  }
+  return "unknown";
+}
+
+void HealthConfig::validate() const {
+  if (window < 1 || window > 64) {
+    throw std::invalid_argument("HealthConfig: window must be in [1, 64]");
+  }
+  if (min_samples < 1 || min_samples > window) {
+    throw std::invalid_argument("HealthConfig: min_samples must be in [1, window]");
+  }
+  // The comparisons are written to also reject NaN.
+  if (!(degrade_below >= 0.0 && degrade_below <= 1.0)) {
+    throw std::invalid_argument("HealthConfig: degrade_below outside [0, 1]");
+  }
+  if (!(recover_above >= 0.0 && recover_above <= 1.0)) {
+    throw std::invalid_argument("HealthConfig: recover_above outside [0, 1]");
+  }
+  if (!(recover_above > degrade_below)) {
+    throw std::invalid_argument(
+        "HealthConfig: recover_above must exceed degrade_below (hysteresis)");
+  }
+  if (!(ewma_alpha > 0.0 && ewma_alpha <= 1.0)) {
+    throw std::invalid_argument("HealthConfig: ewma_alpha outside (0, 1]");
+  }
+  if (min_normal_dwell.is_negative() || min_degraded_dwell.is_negative()) {
+    throw std::invalid_argument("HealthConfig: negative dwell time");
+  }
+}
+
+void HealthMonitor::Window::push(bool timely, std::uint64_t mask,
+                                 std::size_t capacity) {
+  bits = ((bits << 1) | (timely ? 1u : 0u)) & mask;
+  if (count < capacity) ++count;
+}
+
+double HealthMonitor::Window::rate() const {
+  if (count == 0) return 0.0;
+  return static_cast<double>(std::popcount(bits)) / static_cast<double>(count);
+}
+
+HealthMonitor::HealthMonitor(HealthConfig config) : config_(config) {
+  config_.validate();
+  mask_ = config_.window == 64 ? ~0ull : ((1ull << config_.window) - 1ull);
+}
+
+void HealthMonitor::reset(std::size_t num_tasks) {
+  global_.clear();
+  per_task_.assign(num_tasks, Window{});
+  ewma_ms_.assign(num_tasks, -1.0);
+}
+
+void HealthMonitor::clear_window() {
+  global_.clear();
+  for (Window& w : per_task_) w.clear();
+}
+
+void HealthMonitor::record(std::size_t task, bool timely, Duration latency) {
+  global_.push(timely, mask_, config_.window);
+  per_task_[task].push(timely, mask_, config_.window);
+  const double ms = latency.ms();
+  double& ewma = ewma_ms_[task];
+  ewma = ewma < 0.0 ? ms : config_.ewma_alpha * ms + (1.0 - config_.ewma_alpha) * ewma;
+}
+
+ModeController::ModeController(ModeControllerConfig config)
+    : config_(std::move(config)), monitor_(config_.health) {}
+
+void ModeController::begin_run(const core::DecisionVector& normal,
+                               TimePoint start) {
+  if (!config_.degraded.empty() && config_.degraded.size() != normal.size()) {
+    throw std::invalid_argument(
+        "ModeController: degraded vector arity mismatches the normal vector");
+  }
+  degraded_ = config_.degraded.empty() ? core::all_local(normal.size())
+                                       : config_.degraded;
+  normal_response_.assign(normal.size(), Duration::zero());
+  for (std::size_t i = 0; i < normal.size(); ++i) {
+    if (normal[i].offloaded()) normal_response_[i] = normal[i].response_time;
+  }
+  monitor_.reset(normal.size());
+  mode_ = Mode::kNormal;
+  mode_since_ = start;
+  mode_changes_ = 0;
+  armed_ = true;
+}
+
+void ModeController::on_outcome(std::size_t task, bool timely, Duration latency,
+                                TimePoint /*now*/) {
+  if (!armed_ || task >= normal_response_.size()) return;
+  const Duration window = normal_response_[task];
+  if (window.is_zero()) {
+    // Local under the normal vector: its outcomes (possible when the
+    // degraded vector offloads more than the normal one) carry no shadow
+    // verdict, but the latency still feeds the scale estimate.
+    monitor_.record(task, timely, latency);
+    return;
+  }
+  // Shadow timeliness: would this response have met the *normal* window?
+  // In degraded mode the active window may be much wider, and a success
+  // against that fat window says nothing about recovery.
+  const bool shadow = timely && latency <= window;
+  monitor_.record(task, shadow, latency);
+}
+
+Mode ModeController::evaluate(TimePoint now) {
+  if (!armed_) return mode_;
+  const HealthConfig& h = config_.health;
+  if (mode_ == Mode::kNormal) {
+    if (now - mode_since_ < h.min_normal_dwell) return mode_;
+    if (monitor_.samples() >= h.min_samples &&
+        monitor_.timely_rate() < h.degrade_below) {
+      switch_to(Mode::kDegraded, now);
+    }
+  } else {
+    if (now - mode_since_ < h.min_degraded_dwell) return mode_;
+    if (monitor_.samples() >= h.min_samples) {
+      if (monitor_.timely_rate() >= h.recover_above) switch_to(Mode::kNormal, now);
+    } else {
+      // Not enough evidence either way -- typical when the degraded vector
+      // is all-local and generates no offload traffic. Probe: re-enter
+      // normal mode and let the next window's evidence decide.
+      switch_to(Mode::kNormal, now);
+    }
+  }
+  return mode_;
+}
+
+void ModeController::switch_to(Mode mode, TimePoint now) {
+  mode_ = mode;
+  mode_since_ = now;
+  ++mode_changes_;
+  monitor_.clear_window();
+}
+
+double switch_envelope_density(const core::TaskSet& tasks,
+                               const core::DecisionVector& normal,
+                               const core::DecisionVector& degraded) {
+  if (tasks.size() != normal.size() || tasks.size() != degraded.size()) {
+    throw std::invalid_argument("switch_envelope_density: arity mismatch");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const double a = core::decision_density(tasks[i], normal[i]).to_double();
+    const double b = core::decision_density(tasks[i], degraded[i]).to_double();
+    total += std::max(a, b);
+  }
+  return total;
+}
+
+}  // namespace rt::health

@@ -1,0 +1,202 @@
+#include "server/faults.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rt::server {
+
+namespace {
+
+/// Field-checked finite read; Json::number_or covers the missing-key case.
+double finite_number_or(const Json& j, const std::string& key, double fallback,
+                        const char* context) {
+  const double v = j.number_or(key, fallback);
+  if (!std::isfinite(v)) {
+    throw std::invalid_argument(std::string(context) + ": non-finite " + key);
+  }
+  return v;
+}
+
+/// Down-phase test for a flapping clause: the first `duty` fraction of each
+/// period, measured from the clause start, is down.
+bool flap_down(const FaultClause& c, TimePoint t) {
+  const Duration phase = (t - c.start) % c.period;
+  return phase < c.period.scaled(c.duty);
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kOutage: return "outage";
+    case FaultKind::kSlowdown: return "slowdown";
+    case FaultKind::kDropBurst: return "drop-burst";
+    case FaultKind::kFlapping: return "flapping";
+  }
+  return "unknown";
+}
+
+FaultKind fault_kind_from_string(const std::string& name) {
+  if (name == "outage") return FaultKind::kOutage;
+  if (name == "slowdown") return FaultKind::kSlowdown;
+  if (name == "drop-burst") return FaultKind::kDropBurst;
+  if (name == "flapping") return FaultKind::kFlapping;
+  throw std::invalid_argument("FaultClause: unknown kind '" + name + "'");
+}
+
+void FaultClause::validate() const {
+  if (start.ns() < 0) {
+    throw std::invalid_argument("FaultClause: negative start");
+  }
+  if (end <= start) {
+    throw std::invalid_argument("FaultClause: empty window (end <= start)");
+  }
+  switch (kind) {
+    case FaultKind::kOutage:
+      break;
+    case FaultKind::kSlowdown:
+      if (!std::isfinite(factor) || factor <= 0.0) {
+        throw std::invalid_argument("FaultClause: slowdown factor must be finite and > 0");
+      }
+      break;
+    case FaultKind::kDropBurst:
+      // Written to also reject NaN, which passes every < / > comparison.
+      if (!(drop_probability >= 0.0 && drop_probability <= 1.0)) {
+        throw std::invalid_argument("FaultClause: drop_probability outside [0, 1]");
+      }
+      break;
+    case FaultKind::kFlapping:
+      if (!period.is_positive()) {
+        throw std::invalid_argument("FaultClause: flapping period must be > 0");
+      }
+      if (!(duty >= 0.0 && duty <= 1.0)) {
+        throw std::invalid_argument("FaultClause: duty outside [0, 1]");
+      }
+      break;
+  }
+}
+
+Json FaultClause::to_json() const {
+  Json::Object o;
+  o["kind"] = to_string(kind);
+  o["start_ms"] = start.ms();
+  if (end != TimePoint::max()) o["end_ms"] = end.ms();
+  switch (kind) {
+    case FaultKind::kOutage:
+      break;
+    case FaultKind::kSlowdown:
+      o["factor"] = factor;
+      break;
+    case FaultKind::kDropBurst:
+      o["drop_probability"] = drop_probability;
+      break;
+    case FaultKind::kFlapping:
+      o["period_ms"] = period.ms();
+      o["duty"] = duty;
+      break;
+  }
+  return Json(std::move(o));
+}
+
+FaultClause FaultClause::from_json(const Json& j) {
+  FaultClause c;
+  c.kind = fault_kind_from_string(j.at("kind").as_string());
+  c.start = TimePoint::zero() +
+            Duration::from_ms(finite_number_or(j, "start_ms", 0.0, "FaultClause"));
+  if (j.contains("end_ms")) {
+    c.end = TimePoint::zero() +
+            Duration::from_ms(finite_number_or(j, "end_ms", 0.0, "FaultClause"));
+  }
+  c.factor = j.number_or("factor", 1.0);
+  c.drop_probability = j.number_or("drop_probability", 0.0);
+  c.period = Duration::from_ms(finite_number_or(j, "period_ms", 0.0, "FaultClause"));
+  c.duty = j.number_or("duty", 0.5);
+  c.validate();
+  return c;
+}
+
+void FaultScript::validate() const {
+  for (const FaultClause& c : clauses) c.validate();
+}
+
+Json FaultScript::to_json() const {
+  Json::Object o;
+  o["seed"] = static_cast<double>(seed);
+  Json::Array arr;
+  arr.reserve(clauses.size());
+  for (const FaultClause& c : clauses) arr.push_back(c.to_json());
+  o["clauses"] = Json(std::move(arr));
+  return Json(std::move(o));
+}
+
+FaultScript FaultScript::from_json(const Json& j) {
+  FaultScript s;
+  const double seed = j.number_or("seed", 1.0);
+  if (!(seed >= 0.0) || seed != std::floor(seed)) {
+    throw std::invalid_argument("FaultScript: seed must be a non-negative integer");
+  }
+  s.seed = static_cast<std::uint64_t>(seed);
+  if (j.contains("clauses")) {
+    for (const Json& c : j.at("clauses").as_array()) {
+      s.clauses.push_back(FaultClause::from_json(c));
+    }
+  }
+  return s;
+}
+
+FaultScript FaultScript::parse(std::string_view text) {
+  FaultScript s = from_json(Json::parse(text));
+  s.validate();
+  return s;
+}
+
+FaultInjector::FaultInjector(std::unique_ptr<ResponseModel> inner,
+                             FaultScript script)
+    : inner_(std::move(inner)), script_(std::move(script)),
+      fault_rng_(script_.seed) {
+  if (inner_ == nullptr) {
+    throw std::invalid_argument("FaultInjector: null inner model");
+  }
+  script_.validate();
+}
+
+bool FaultInjector::link_down_at(TimePoint t) const {
+  for (const FaultClause& c : script_.clauses) {
+    if (!c.active_at(t)) continue;
+    if (c.kind == FaultKind::kOutage) return true;
+    if (c.kind == FaultKind::kFlapping && flap_down(c, t)) return true;
+  }
+  return false;
+}
+
+Duration FaultInjector::sample(const Request& req, Rng& rng) {
+  const TimePoint t = req.send_time;
+  // A down link answers nothing deterministically: neither the inner model
+  // nor any Rng (the caller's or ours) is consumed, so the caller's stream
+  // is identical whether or not the request fell into the window.
+  if (link_down_at(t)) return kNoResponse;
+  for (const FaultClause& c : script_.clauses) {
+    if (c.kind == FaultKind::kDropBurst && c.active_at(t) &&
+        c.drop_probability > 0.0 && fault_rng_.bernoulli(c.drop_probability)) {
+      return kNoResponse;
+    }
+  }
+  const Duration response = inner_->sample(req, rng);
+  if (response == kNoResponse) return kNoResponse;
+  double factor = 1.0;
+  for (const FaultClause& c : script_.clauses) {
+    if (c.kind == FaultKind::kSlowdown && c.active_at(t)) factor *= c.factor;
+  }
+  return factor == 1.0 ? response : response.scaled(factor);
+}
+
+void FaultInjector::reset() {
+  inner_->reset();
+  fault_rng_ = Rng(script_.seed);
+}
+
+std::unique_ptr<ResponseModel> FaultInjector::clone() const {
+  return std::make_unique<FaultInjector>(inner_->clone(), script_);
+}
+
+}  // namespace rt::server

@@ -1,0 +1,113 @@
+#pragma once
+// Deterministic fault injection for response models.
+//
+// The paper's premise is a component with no trustworthy timing bound, but
+// every stochastic model in this directory misbehaves *statistically*: you
+// cannot script "the link dies at t=5s for 7s" and watch the compensation
+// mechanism (or the health monitor, rt/health.hpp) react to exactly that.
+// FaultInjector wraps any ResponseModel and overlays a timed fault script:
+//
+//   * outage     -- requests sent inside the window get no response;
+//   * slowdown   -- finite responses are inflated by a factor;
+//   * drop-burst -- requests inside the window are dropped i.i.d. with a
+//                   window-local probability (correlated loss burst);
+//   * flapping   -- the link cycles down/up with a fixed period and duty.
+//
+// Scripts are plain data (JSON-loadable, util/json) and the injector is
+// deterministic: drop draws come from the injector's own seeded Rng, so a
+// dropped request consumes nothing from the caller's stream and the same
+// script replays bit-identically over the same request sequence. clone()
+// and reset() follow the BatchRunner replication contract (pristine state,
+// same configuration), so a wrapped prototype can fan out across scenario
+// workers like any other model.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "server/response_model.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace rt::server {
+
+enum class FaultKind : std::uint8_t { kOutage, kSlowdown, kDropBurst, kFlapping };
+
+const char* to_string(FaultKind kind);
+FaultKind fault_kind_from_string(const std::string& name);
+
+/// One timed fault. The window is half-open [start, end): a request sent at
+/// exactly `end` is healthy, matching the simulator's horizon convention.
+struct FaultClause {
+  FaultKind kind = FaultKind::kOutage;
+  TimePoint start = TimePoint::zero();
+  TimePoint end = TimePoint::max();  ///< max() = until the end of time
+  /// kSlowdown: multiplier applied to finite inner responses (> 0, finite;
+  /// overlapping slowdowns compose multiplicatively).
+  double factor = 1.0;
+  /// kDropBurst: i.i.d. drop probability inside the window, in [0, 1].
+  double drop_probability = 0.0;
+  /// kFlapping: cycle length (> 0) and the fraction of each cycle, from its
+  /// start, that the link is down (duty in [0, 1]).
+  Duration period = Duration::zero();
+  double duty = 0.5;
+
+  [[nodiscard]] bool active_at(TimePoint t) const { return t >= start && t < end; }
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+
+  [[nodiscard]] Json to_json() const;
+  static FaultClause from_json(const Json& j);
+};
+
+/// A whole scenario's worth of faults. `seed` feeds the injector's private
+/// drop Rng; clauses may overlap freely (down states win, slowdowns stack).
+struct FaultScript {
+  std::uint64_t seed = 1;
+  std::vector<FaultClause> clauses;
+
+  void validate() const;
+
+  /// Schema (docs/ANALYSIS.md §10; worked example in examples/):
+  ///   {"seed": 7, "clauses": [{"kind": "outage", "start_ms": 5000,
+  ///    "end_ms": 12000}, ...]}
+  /// Times are milliseconds; a missing end_ms means "forever". Kind-specific
+  /// fields: factor (slowdown), drop_probability (drop-burst), period_ms and
+  /// duty (flapping).
+  [[nodiscard]] Json to_json() const;
+  static FaultScript from_json(const Json& j);
+  /// Json::parse + from_json + validate in one step.
+  static FaultScript parse(std::string_view text);
+};
+
+/// ResponseModel decorator applying a FaultScript to an inner model.
+///
+/// Ordering per request: a down link (outage or flapping low-phase) answers
+/// kNoResponse without consulting the inner model or any Rng; then active
+/// drop bursts draw from the injector's own Rng; only surviving requests
+/// reach the inner model, whose finite responses are scaled by the product
+/// of active slowdown factors. Requests must arrive in non-decreasing
+/// send-time order only if the inner model requires it.
+class FaultInjector final : public ResponseModel {
+ public:
+  FaultInjector(std::unique_ptr<ResponseModel> inner, FaultScript script);
+
+  Duration sample(const Request& req, Rng& rng) override;
+  void reset() override;
+  std::unique_ptr<ResponseModel> clone() const override;
+
+  /// Diagnostic: is a deterministic down clause (outage / flapping low
+  /// phase) active at `t`? Drop bursts are probabilistic and not reported.
+  [[nodiscard]] bool link_down_at(TimePoint t) const;
+
+  [[nodiscard]] const FaultScript& script() const { return script_; }
+
+ private:
+  std::unique_ptr<ResponseModel> inner_;
+  FaultScript script_;
+  Rng fault_rng_;
+};
+
+}  // namespace rt::server

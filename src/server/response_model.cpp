@@ -1,5 +1,6 @@
 #include "server/response_model.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace rt::server {
@@ -12,10 +13,16 @@ ShiftedLognormalResponse::ShiftedLognormalResponse(Duration shift, double mu_log
   if (shift.is_negative()) {
     throw std::invalid_argument("ShiftedLognormalResponse: negative shift");
   }
-  if (sigma_log < 0.0) {
-    throw std::invalid_argument("ShiftedLognormalResponse: negative sigma");
+  if (!std::isfinite(mu_log_ms)) {
+    throw std::invalid_argument("ShiftedLognormalResponse: non-finite mu");
   }
-  if (drop_probability < 0.0 || drop_probability > 1.0) {
+  if (!std::isfinite(sigma_log) || sigma_log < 0.0) {
+    throw std::invalid_argument(
+        "ShiftedLognormalResponse: sigma must be finite and >= 0");
+  }
+  // Written as a double negation so NaN (which passes any < / > test) is
+  // rejected too.
+  if (!(drop_probability >= 0.0 && drop_probability <= 1.0)) {
     throw std::invalid_argument("ShiftedLognormalResponse: bad drop probability");
   }
 }
@@ -48,7 +55,7 @@ EmpiricalResponse::EmpiricalResponse(std::vector<Duration> samples,
   if (samples_.empty()) {
     throw std::invalid_argument("EmpiricalResponse: no samples");
   }
-  if (drop_probability < 0.0 || drop_probability > 1.0) {
+  if (!(drop_probability >= 0.0 && drop_probability <= 1.0)) {  // NaN-proof
     throw std::invalid_argument("EmpiricalResponse: bad drop probability");
   }
 }

@@ -16,6 +16,7 @@
 #include "core/deadline.hpp"
 #include "obs/sink.hpp"
 #include "obs/timer.hpp"
+#include "rt/health.hpp"
 
 namespace rt::sim {
 
@@ -39,6 +40,10 @@ struct SubJob {
   std::int64_t priority_key = 0;
   std::uint32_t task = 0;
   Phase phase = Phase::kLocal;
+  /// Decision vector this job was released under (0 normal, 1 degraded);
+  /// always 0 without a mode controller. Carried so every later phase of
+  /// the job resolves WCETs/benefits against its release-time decision.
+  std::uint8_t mode = 0;
   bool via_compensation = false;
   bool done = false;
 };
@@ -69,7 +74,9 @@ struct FlightSlot {
   std::uint64_t job_id = 0;
   TimePoint release;
   TimePoint job_deadline;
+  TimePoint send;  ///< request send instant (health-monitor latency base)
   std::uint32_t generation = 0;
+  std::uint8_t mode = 0;  ///< the job's release-time mode (see SubJob)
 };
 
 /// Everything about a (task, decision) pair that is constant for a run,
@@ -103,6 +110,9 @@ struct SimEngine::Impl {
   std::vector<std::uint32_t> flight_free_;
   std::vector<std::int64_t> dm_rank_;
   std::vector<TaskCache> tcache_;
+  /// Degraded-vector twin of tcache_; filled only when a mode controller
+  /// is configured, and indexed through cache_of(mode).
+  std::vector<TaskCache> tcache_degraded_;
   Rng rng_{0};
   Trace trace_;
   EngineStats stats_;
@@ -126,6 +136,12 @@ struct SimEngine::Impl {
   std::uint64_t job_counter_ = 0;
   std::size_t pool_live_ = 0;
   std::size_t flights_live_ = 0;
+  /// Degraded-mode controller state; inert (cur_mode_ stays 0) when
+  /// controller_ is null, which keeps the static path bit-identical to
+  /// simulate_reference.
+  health::ModeController* controller_ = nullptr;
+  std::uint8_t cur_mode_ = 0;
+  TimePoint mode_since_;
   /// Heap entries already known dead: superseded slice-ends plus timers
   /// whose token was resolved by an arrival. Drives compaction.
   std::size_t stale_events_ = 0;
@@ -284,6 +300,8 @@ struct SimEngine::Impl {
     fl.job_id = sj.job_id;
     fl.release = sj.release;
     fl.job_deadline = sj.job_deadline;
+    fl.send = now_;  // flight_alloc runs at setup completion = request send
+    fl.mode = sj.mode;
     ++flights_live_;
     stats_.in_flight_peak = std::max(stats_.in_flight_peak, flights_live_);
     return (static_cast<std::uint64_t>(fl.generation) << 32) | slot;
@@ -305,6 +323,70 @@ struct SimEngine::Impl {
   }
 
   // ---- run setup / teardown ----
+
+  void validate_decisions(const core::DecisionVector& decisions) const {
+    const core::TaskSet& tasks = *tasks_;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const auto& d = decisions[i];
+      if (d.offloaded()) {
+        if ((!tasks[i].setup_wcet_per_level.empty() &&
+             d.level >= tasks[i].setup_wcet_per_level.size()) ||
+            (!tasks[i].compensation_wcet_per_level.empty() &&
+             d.level >= tasks[i].compensation_wcet_per_level.size())) {
+          throw std::invalid_argument("simulate: decision level out of range");
+        }
+        if (d.response_time >= tasks[i].deadline) {
+          throw std::invalid_argument(
+              "simulate: R >= D leaves no room for compensation");
+        }
+      }
+    }
+  }
+
+  void fill_cache(std::vector<TaskCache>& cache,
+                  const core::DecisionVector& decisions,
+                  const RequestProfile& profile) const {
+    const core::TaskSet& tasks = *tasks_;
+    cache.assign(tasks.size(), TaskCache{});
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const auto& task = tasks[i];
+      const auto& decision = decisions[i];
+      TaskCache& tc = cache[i];
+      tc.period = task.period;
+      tc.deadline = task.deadline;
+      tc.offloaded = decision.offloaded();
+      tc.local_benefit = task.weight * task.benefit.local_value();
+      if (!tc.offloaded) {
+        tc.exec_wcet = task.local_wcet;
+        continue;
+      }
+      tc.exec_wcet = task.setup_for_level(decision.level);
+      tc.post_wcet = task.post_wcet;
+      tc.comp_wcet = task.compensation_for_level(decision.level);
+      tc.response_time = decision.response_time;
+      const core::SplitDeadlines split =
+          config_.deadline_policy == DeadlinePolicy::kSplit
+              ? core::split_deadlines(task, decision.response_time, decision.level)
+              : core::naive_deadlines(task, decision.response_time);
+      tc.d1 = split.d1;
+      tc.timely_benefit =
+          config_.benefit_semantics == BenefitSemantics::kQualityValue
+              ? task.weight *
+                    task.benefit
+                        .point(std::min(decision.level, task.benefit.size() - 1))
+                        .value
+              : task.weight;
+      if (i < profile.size() && decision.level < profile[i].size()) {
+        tc.req = profile[i][decision.level];
+      }
+      tc.req.stream_id = i;
+    }
+  }
+
+  /// The cache of the vector a job with `mode` was released under.
+  [[nodiscard]] const std::vector<TaskCache>& cache_of(std::uint8_t mode) const {
+    return mode != 0 ? tcache_degraded_ : tcache_;
+  }
 
   void reset(const core::TaskSet& tasks, const core::DecisionVector& decisions,
              server::ResponseModel& server, const SimConfig& config,
@@ -349,21 +431,7 @@ struct SimEngine::Impl {
       throw std::invalid_argument("simulate: decisions arity mismatch");
     }
     core::validate_task_set(tasks);
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      const auto& d = decisions[i];
-      if (d.offloaded()) {
-        if ((!tasks[i].setup_wcet_per_level.empty() &&
-             d.level >= tasks[i].setup_wcet_per_level.size()) ||
-            (!tasks[i].compensation_wcet_per_level.empty() &&
-             d.level >= tasks[i].compensation_wcet_per_level.size())) {
-          throw std::invalid_argument("simulate: decision level out of range");
-        }
-        if (d.response_time >= tasks[i].deadline) {
-          throw std::invalid_argument(
-              "simulate: R >= D leaves no room for compensation");
-        }
-      }
-    }
+    validate_decisions(decisions);
     metrics_.per_task.resize(tasks.size());
     // Deadline-monotonic ranks for the fixed-priority policy.
     dm_rank_.assign(tasks.size(), 0);
@@ -380,39 +448,23 @@ struct SimEngine::Impl {
     // evaluates per job, so the arithmetic (and hence every metric bit) is
     // unchanged -- the hot path just stops paying for the __int128 division
     // in split_deadlines and the per-level vector walks.
-    tcache_.assign(tasks.size(), TaskCache{});
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      const auto& task = tasks[i];
-      const auto& decision = decisions[i];
-      TaskCache& tc = tcache_[i];
-      tc.period = task.period;
-      tc.deadline = task.deadline;
-      tc.offloaded = decision.offloaded();
-      tc.local_benefit = task.weight * task.benefit.local_value();
-      if (!tc.offloaded) {
-        tc.exec_wcet = task.local_wcet;
-        continue;
+    fill_cache(tcache_, decisions, profile);
+    // Mode controller: re-arm it over the static (normal) vector and build
+    // the degraded vector's cache twin. The degraded vector goes through
+    // the same validation as the primary one -- a controller must not be
+    // able to smuggle in an unsimulatable decision.
+    controller_ = config_.controller;
+    cur_mode_ = 0;
+    mode_since_ = TimePoint::zero();
+    tcache_degraded_.clear();
+    if (controller_ != nullptr) {
+      controller_->begin_run(decisions, TimePoint::zero());
+      const core::DecisionVector& degraded = controller_->degraded_decisions();
+      if (degraded.size() != tasks.size()) {
+        throw std::invalid_argument("simulate: degraded decisions arity mismatch");
       }
-      tc.exec_wcet = task.setup_for_level(decision.level);
-      tc.post_wcet = task.post_wcet;
-      tc.comp_wcet = task.compensation_for_level(decision.level);
-      tc.response_time = decision.response_time;
-      const core::SplitDeadlines split =
-          config_.deadline_policy == DeadlinePolicy::kSplit
-              ? core::split_deadlines(task, decision.response_time, decision.level)
-              : core::naive_deadlines(task, decision.response_time);
-      tc.d1 = split.d1;
-      tc.timely_benefit =
-          config_.benefit_semantics == BenefitSemantics::kQualityValue
-              ? task.weight *
-                    task.benefit
-                        .point(std::min(decision.level, task.benefit.size() - 1))
-                        .value
-              : task.weight;
-      if (i < profile.size() && decision.level < profile[i].size()) {
-        tc.req = profile[i][decision.level];
-      }
-      tc.req.stream_id = i;
+      validate_decisions(degraded);
+      fill_cache(tcache_degraded_, degraded, profile);
     }
     // Resolve metric handles once, outside the event loop; with no sink
     // every handle stays null and the per-event hooks are one branch each.
@@ -455,6 +507,9 @@ struct SimEngine::Impl {
       handle(ev);
       dispatch();
     }
+    if (cur_mode_ != 0) {
+      metrics_.time_in_degraded_ns += (horizon_end_ - mode_since_).ns();
+    }
     metrics_.end_time = horizon_end_;
     metrics_.trace_truncated = trace_.truncated();
     stats_.pool_slots_capacity = pool_.size();
@@ -467,6 +522,11 @@ struct SimEngine::Impl {
           .add(static_cast<std::int64_t>(stats_.in_flight_peak));
       reg.counter("sim.stale_events_compacted")
           .inc(stats_.stale_events_compacted);
+      if (controller_ != nullptr) {
+        reg.counter("sim.mode_changes").inc(metrics_.mode_changes);
+        reg.counter("sim.time_in_degraded_ns")
+            .inc(static_cast<std::uint64_t>(metrics_.time_in_degraded_ns));
+      }
     }
     SimResult result;
     result.metrics = std::move(metrics_);
@@ -545,8 +605,25 @@ struct SimEngine::Impl {
     }
   }
 
+  /// Applies the controller's verdict at a release boundary. Jobs already
+  /// released (including their in-flight offloads) are untouched: they
+  /// carry their mode in SubJob/FlightSlot and finish under it.
+  void maybe_switch_mode() {
+    const auto mode =
+        static_cast<std::uint8_t>(controller_->evaluate(now_));
+    if (mode == cur_mode_) return;
+    if (cur_mode_ != 0) {
+      metrics_.time_in_degraded_ns += (now_ - mode_since_).ns();
+    }
+    cur_mode_ = mode;
+    mode_since_ = now_;
+    ++metrics_.mode_changes;
+    trace_.record(now_, TraceKind::kModeChange, mode, metrics_.mode_changes);
+  }
+
   void handle_release(std::size_t task_idx) {
-    const TaskCache& tc = tcache_[task_idx];
+    if (controller_ != nullptr) maybe_switch_mode();
+    const TaskCache& tc = cache_of(cur_mode_)[task_idx];
     auto& tm = metrics_.per_task[task_idx];
     ++tm.released;
     obs::inc(released_counter_);
@@ -559,6 +636,7 @@ struct SimEngine::Impl {
     sj.job_id = job_id;
     sj.release = now_;
     sj.job_deadline = now_ + tc.deadline;
+    sj.mode = cur_mode_;
     sj.via_compensation = false;
     sj.done = false;
     sj.seq = ++subjob_seq_;
@@ -622,7 +700,7 @@ struct SimEngine::Impl {
   void complete_subjob(std::uint32_t slot) {
     // No pool slot is allocated below, so the reference stays valid.
     SubJob& sj = pool_[slot];
-    const TaskCache& tc = tcache_[sj.task];
+    const TaskCache& tc = cache_of(sj.mode)[sj.task];
     auto& tm = metrics_.per_task[sj.task];
 
     if (sj.phase == Phase::kSetup) {
@@ -670,11 +748,12 @@ struct SimEngine::Impl {
   }
 
   void release_second_phase(const FlightSlot& fl, bool via_compensation) {
-    const TaskCache& tc = tcache_[fl.task];
+    const TaskCache& tc = cache_of(fl.mode)[fl.task];
     const std::uint32_t slot = pool_alloc();
     SubJob& sj = pool_[slot];
     sj.task = static_cast<std::uint32_t>(fl.task);
     sj.job_id = fl.job_id;
+    sj.mode = fl.mode;
     sj.phase = Phase::kSecond;
     sj.release = fl.release;
     sj.job_deadline = fl.job_deadline;
@@ -697,6 +776,9 @@ struct SimEngine::Impl {
     ++tm.timely_results;
     if (!timely_counters_.empty()) timely_counters_[fl->task]->inc();
     trace_.record(now_, TraceKind::kResultTimely, fl->task, fl->job_id);
+    if (controller_ != nullptr) {
+      controller_->on_outcome(fl->task, /*timely=*/true, now_ - fl->send, now_);
+    }
     release_second_phase(*fl, /*via_compensation=*/false);
     flight_release(token);
   }
@@ -713,6 +795,10 @@ struct SimEngine::Impl {
     ++tm.compensations;
     if (!comp_counters_.empty()) comp_counters_[fl->task]->inc();
     trace_.record(now_, TraceKind::kTimerFired, fl->task, fl->job_id);
+    if (controller_ != nullptr) {
+      // The wait equals the armed window R: the result (if any) is late.
+      controller_->on_outcome(fl->task, /*timely=*/false, now_ - fl->send, now_);
+    }
     release_second_phase(*fl, /*via_compensation=*/true);
     flight_release(token);
   }

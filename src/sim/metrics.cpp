@@ -48,6 +48,10 @@ std::string SimMetrics::summary() const {
       << " compensations=" << total_compensations()
       << " benefit=" << total_benefit()
       << " cpu=" << cpu_utilization();
+  if (mode_changes > 0) {
+    oss << " mode_changes=" << mode_changes
+        << " degraded_ms=" << static_cast<double>(time_in_degraded_ns) / 1e6;
+  }
   if (trace_truncated) oss << " trace=truncated";
   return oss.str();
 }

@@ -31,6 +31,11 @@ struct SimMetrics {
   /// A truncated trace still yields exact metrics (counters never drop),
   /// but timeline exports (--trace-out) are incomplete.
   bool trace_truncated = false;
+  /// Degraded-mode controller activity (0 when SimConfig::controller is
+  /// null): vector switches taken at release boundaries, and the total
+  /// simulated time spent in degraded mode.
+  std::uint64_t mode_changes = 0;
+  std::int64_t time_in_degraded_ns = 0;
   TimePoint end_time;
 
   [[nodiscard]] std::uint64_t total_released() const;

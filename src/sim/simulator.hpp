@@ -33,6 +33,10 @@ namespace rt::obs {
 class Sink;
 }  // namespace rt::obs
 
+namespace rt::health {
+class ModeController;
+}  // namespace rt::health
+
 namespace rt::sim {
 
 /// How sub-job *actual* execution times relate to their WCETs.
@@ -95,6 +99,17 @@ struct SimConfig {
   /// check. The sink is single-threaded: give each concurrent simulation
   /// its own shard (exp::BatchRunner does this automatically).
   obs::Sink* sink = nullptr;
+  /// Optional adaptive degraded-mode controller (rt/health.hpp). The
+  /// engine re-arms it at run start (begin_run over the static decisions),
+  /// feeds it every resolved offload, and consults it at each job release
+  /// boundary: the released job runs under the controller's current
+  /// vector, while in-flight jobs keep the vector they were released with
+  /// (docs/ANALYSIS.md §10). nullptr (the default) keeps the engine on the
+  /// static vector with zero overhead and bit-identical results to
+  /// simulate_reference. The controller is stateful and single-threaded:
+  /// one per concurrent simulation (exp::ScenarioSpec::adaptive replicates
+  /// from a config prototype).
+  health::ModeController* controller = nullptr;
 };
 
 /// Per-(task, level) offload request shape handed to the response model.

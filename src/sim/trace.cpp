@@ -15,6 +15,7 @@ const char* to_string(TraceKind kind) {
     case TraceKind::kTimerFired: return "timer-fired";
     case TraceKind::kJobComplete: return "job-complete";
     case TraceKind::kDeadlineMiss: return "deadline-miss";
+    case TraceKind::kModeChange: return "mode-change";
   }
   return "unknown";
 }

@@ -19,6 +19,9 @@ enum class TraceKind {
   kTimerFired,      ///< compensation started
   kJobComplete,
   kDeadlineMiss,
+  /// Mode-controller switch at a release boundary. `task` carries the new
+  /// mode (0 normal, 1 degraded), `job` the running switch count.
+  kModeChange,
 };
 
 const char* to_string(TraceKind kind);

@@ -30,15 +30,24 @@ std::size_t append_chrome_trace(obs::ChromeTraceWriter& writer,
                                 const std::vector<std::string>& task_names,
                                 int pid) {
   const std::size_t before = writer.event_count();
+  // Mode-change events carry the new mode, not a task index; they get
+  // their own swimlane above the tasks' instead of widening the task grid.
   std::size_t max_task = 0;
+  bool has_mode_events = false;
   for (const auto& ev : trace.events()) {
+    if (ev.kind == TraceKind::kModeChange) {
+      has_mode_events = true;
+      continue;
+    }
     if (ev.task > max_task) max_task = ev.task;
   }
+  const int mode_tid = static_cast<int>(max_task) + 1;
   writer.name_process(pid, "rtoffload sim");
   if (!trace.events().empty()) {
     for (std::size_t t = 0; t <= max_task; ++t) {
       writer.name_thread(pid, static_cast<int>(t), lane_name(task_names, t));
     }
+    if (has_mode_events) writer.name_thread(pid, mode_tid, "mode");
   }
 
   std::optional<OpenSlice> open;
@@ -66,6 +75,10 @@ std::size_t append_chrome_trace(obs::ChromeTraceWriter& writer,
         if (ev.kind != TraceKind::kPreempt) {
           writer.add_instant(to_string(ev.kind), "sim", pid, tid, ts);
         }
+        break;
+      case TraceKind::kModeChange:
+        writer.add_instant(ev.task != 0 ? "enter-degraded" : "enter-normal",
+                           "mode", pid, mode_tid, ts);
         break;
       default:
         writer.add_instant(to_string(ev.kind), "sim", pid, tid, ts);

@@ -1,0 +1,251 @@
+#include "rt/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/odm.hpp"
+#include "core/schedulability.hpp"
+#include "core/workload.hpp"
+
+namespace rt::health {
+namespace {
+
+using namespace rt::literals;
+
+TimePoint at_ms(std::int64_t ms) {
+  return TimePoint::zero() + Duration::milliseconds(ms);
+}
+
+/// Two tasks: task 0 offloaded with a 50 ms normal window, task 1 local.
+core::DecisionVector normal_vector() {
+  core::DecisionVector v = core::all_local(2);
+  v[0] = core::Decision::offload(1, 50_ms);
+  return v;
+}
+
+HealthConfig fast_config() {
+  HealthConfig hc;
+  hc.window = 8;
+  hc.min_samples = 4;
+  hc.degrade_below = 0.5;
+  hc.recover_above = 0.8;
+  hc.min_normal_dwell = Duration::zero();
+  hc.min_degraded_dwell = Duration::zero();
+  return hc;
+}
+
+TEST(HealthConfig, ValidationRejectsEachBadField) {
+  EXPECT_NO_THROW(HealthConfig{}.validate());
+  HealthConfig hc;
+  hc.window = 0;
+  EXPECT_THROW(hc.validate(), std::invalid_argument);
+  hc = HealthConfig{};
+  hc.window = 65;
+  EXPECT_THROW(hc.validate(), std::invalid_argument);
+  hc = HealthConfig{};
+  hc.min_samples = 0;
+  EXPECT_THROW(hc.validate(), std::invalid_argument);
+  hc = HealthConfig{};
+  hc.min_samples = hc.window + 1;
+  EXPECT_THROW(hc.validate(), std::invalid_argument);
+  hc = HealthConfig{};
+  hc.degrade_below = std::nan("");
+  EXPECT_THROW(hc.validate(), std::invalid_argument);
+  hc = HealthConfig{};
+  hc.recover_above = 1.5;
+  EXPECT_THROW(hc.validate(), std::invalid_argument);
+  hc = HealthConfig{};
+  hc.degrade_below = 0.6;
+  hc.recover_above = 0.6;  // no hysteresis band
+  EXPECT_THROW(hc.validate(), std::invalid_argument);
+  hc = HealthConfig{};
+  hc.ewma_alpha = 0.0;
+  EXPECT_THROW(hc.validate(), std::invalid_argument);
+  hc = HealthConfig{};
+  hc.ewma_alpha = 1.5;
+  EXPECT_THROW(hc.validate(), std::invalid_argument);
+  hc = HealthConfig{};
+  hc.min_normal_dwell = Duration::milliseconds(-1);
+  EXPECT_THROW(hc.validate(), std::invalid_argument);
+}
+
+TEST(HealthMonitor, WindowSlidesAndEvictsOldest) {
+  HealthConfig hc;
+  hc.window = 4;
+  hc.min_samples = 1;
+  hc.recover_above = 0.8;
+  HealthMonitor mon(hc);
+  mon.reset(1);
+  for (int i = 0; i < 4; ++i) mon.record(0, true, 10_ms);
+  EXPECT_EQ(mon.samples(), 4u);
+  EXPECT_DOUBLE_EQ(mon.timely_rate(), 1.0);
+  mon.record(0, false, 10_ms);  // evicts one of the trues
+  EXPECT_EQ(mon.samples(), 4u);
+  EXPECT_DOUBLE_EQ(mon.timely_rate(), 0.75);
+  EXPECT_DOUBLE_EQ(mon.timely_rate(0), 0.75);
+  for (int i = 0; i < 4; ++i) mon.record(0, false, 10_ms);
+  EXPECT_DOUBLE_EQ(mon.timely_rate(), 0.0);
+}
+
+TEST(HealthMonitor, FullWidthWindowHolds64Samples) {
+  HealthConfig hc;
+  hc.window = 64;
+  hc.min_samples = 1;
+  HealthMonitor mon(hc);
+  mon.reset(1);
+  for (int i = 0; i < 64; ++i) mon.record(0, true, 1_ms);
+  EXPECT_EQ(mon.samples(), 64u);
+  EXPECT_DOUBLE_EQ(mon.timely_rate(), 1.0);
+  mon.record(0, false, 1_ms);
+  EXPECT_EQ(mon.samples(), 64u);
+  EXPECT_DOUBLE_EQ(mon.timely_rate(), 63.0 / 64.0);
+}
+
+TEST(HealthMonitor, EwmaInitializesThenBlends) {
+  HealthConfig hc;
+  hc.ewma_alpha = 0.5;
+  HealthMonitor mon(hc);
+  mon.reset(2);
+  EXPECT_LT(mon.response_ewma_ms(0), 0.0);  // no observation yet
+  mon.record(0, true, 10_ms);
+  EXPECT_DOUBLE_EQ(mon.response_ewma_ms(0), 10.0);
+  mon.record(0, true, 20_ms);
+  EXPECT_DOUBLE_EQ(mon.response_ewma_ms(0), 15.0);
+  EXPECT_LT(mon.response_ewma_ms(1), 0.0);  // untouched task
+}
+
+TEST(HealthMonitor, ClearWindowKeepsTheEwma) {
+  HealthMonitor mon(fast_config());
+  mon.reset(1);
+  mon.record(0, true, 10_ms);
+  mon.clear_window();
+  EXPECT_EQ(mon.samples(), 0u);
+  EXPECT_DOUBLE_EQ(mon.timely_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(mon.response_ewma_ms(0), 10.0);  // scale survives
+}
+
+TEST(ModeController, DegradesOnFailuresAndProbesBack) {
+  ModeControllerConfig cfg;
+  cfg.health = fast_config();  // degraded vector left empty: all-local
+  ModeController ctl(cfg);
+  ctl.begin_run(normal_vector(), TimePoint::zero());
+  EXPECT_EQ(ctl.mode(), Mode::kNormal);
+  ASSERT_EQ(ctl.degraded_decisions().size(), 2u);
+  EXPECT_FALSE(ctl.degraded_decisions()[0].offloaded());
+
+  for (int i = 0; i < 4; ++i) ctl.on_outcome(0, false, 200_ms, at_ms(i));
+  EXPECT_EQ(ctl.evaluate(at_ms(10)), Mode::kDegraded);
+  EXPECT_EQ(ctl.mode_changes(), 1u);
+  // The switch cleared the window: the degrade evidence is not reused.
+  EXPECT_EQ(ctl.monitor().samples(), 0u);
+
+  // All-local degraded mode generates no offloads, so no samples arrive;
+  // after the dwell the controller probes normal mode again.
+  EXPECT_EQ(ctl.evaluate(at_ms(20)), Mode::kNormal);
+  EXPECT_EQ(ctl.mode_changes(), 2u);
+}
+
+TEST(ModeController, DwellTimesGateBothDirections) {
+  ModeControllerConfig cfg;
+  cfg.health = fast_config();
+  cfg.health.min_normal_dwell = Duration::seconds(1);
+  cfg.health.min_degraded_dwell = Duration::seconds(2);
+  ModeController ctl(cfg);
+  ctl.begin_run(normal_vector(), TimePoint::zero());
+
+  for (int i = 0; i < 8; ++i) ctl.on_outcome(0, false, 200_ms, at_ms(i));
+  EXPECT_EQ(ctl.evaluate(at_ms(500)), Mode::kNormal);  // dwell not served
+  EXPECT_EQ(ctl.evaluate(at_ms(1500)), Mode::kDegraded);
+  EXPECT_EQ(ctl.evaluate(at_ms(2000)), Mode::kDegraded);  // degraded dwell
+  EXPECT_EQ(ctl.evaluate(at_ms(3600)), Mode::kNormal);    // probe after dwell
+}
+
+TEST(ModeController, ShadowJudgesAgainstTheNormalWindow) {
+  ModeControllerConfig cfg;
+  cfg.health = fast_config();
+  ModeController ctl(cfg);
+  ctl.begin_run(normal_vector(), TimePoint::zero());
+  // Raw-timely under a fat degraded window, but slower than the 50 ms
+  // normal window: must count as a failure.
+  ctl.on_outcome(0, true, 80_ms, at_ms(0));
+  EXPECT_DOUBLE_EQ(ctl.monitor().timely_rate(), 0.0);
+  ctl.on_outcome(0, true, 40_ms, at_ms(1));  // genuinely healthy
+  EXPECT_DOUBLE_EQ(ctl.monitor().timely_rate(), 0.5);
+  ctl.on_outcome(0, false, 300_ms, at_ms(2));
+  EXPECT_NEAR(ctl.monitor().timely_rate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ModeController, RecoveryNeedsTheRateWhenSamplesExist) {
+  // Degraded vector still offloads task 0 (wider window), so recovery has
+  // evidence to judge and the probe path must not trigger.
+  ModeControllerConfig cfg;
+  cfg.health = fast_config();
+  cfg.degraded = core::all_local(2);
+  cfg.degraded[0] = core::Decision::offload(1, 150_ms);
+  ModeController ctl(cfg);
+  ctl.begin_run(normal_vector(), TimePoint::zero());
+
+  for (int i = 0; i < 4; ++i) ctl.on_outcome(0, false, 200_ms, at_ms(i));
+  ASSERT_EQ(ctl.evaluate(at_ms(10)), Mode::kDegraded);
+
+  // Timely against the degraded window only: shadow failures, no recovery.
+  for (int i = 0; i < 8; ++i) ctl.on_outcome(0, true, 120_ms, at_ms(20 + i));
+  EXPECT_EQ(ctl.evaluate(at_ms(30)), Mode::kDegraded);
+
+  // Fast again: shadow successes push the rate past recover_above.
+  for (int i = 0; i < 8; ++i) ctl.on_outcome(0, true, 30_ms, at_ms(40 + i));
+  EXPECT_EQ(ctl.evaluate(at_ms(50)), Mode::kNormal);
+  EXPECT_EQ(ctl.mode_changes(), 2u);
+}
+
+TEST(ModeController, BeginRunChecksArityAndRearms) {
+  ModeControllerConfig cfg;
+  cfg.health = fast_config();
+  cfg.degraded = core::all_local(3);
+  ModeController ctl(cfg);
+  EXPECT_THROW(ctl.begin_run(normal_vector(), TimePoint::zero()),
+               std::invalid_argument);
+
+  // Unarmed controllers are inert (the engine only drives armed ones).
+  ModeController idle;
+  EXPECT_EQ(idle.evaluate(at_ms(100)), Mode::kNormal);
+  idle.on_outcome(0, false, 10_ms, at_ms(0));
+  EXPECT_EQ(idle.mode_changes(), 0u);
+
+  // Re-arming resets the run state.
+  ModeControllerConfig ok;
+  ok.health = fast_config();
+  ModeController ctl2(ok);
+  ctl2.begin_run(normal_vector(), TimePoint::zero());
+  for (int i = 0; i < 4; ++i) ctl2.on_outcome(0, false, 200_ms, at_ms(i));
+  ASSERT_EQ(ctl2.evaluate(at_ms(10)), Mode::kDegraded);
+  ctl2.begin_run(normal_vector(), at_ms(1000));
+  EXPECT_EQ(ctl2.mode(), Mode::kNormal);
+  EXPECT_EQ(ctl2.mode_changes(), 0u);
+  EXPECT_EQ(ctl2.monitor().samples(), 0u);
+}
+
+TEST(SwitchEnvelope, TakesTheWorsePerTaskDensity) {
+  Rng rng(7);
+  const core::TaskSet tasks = core::make_paper_simulation_taskset(rng);
+  const core::DecisionVector normal = core::decide_offloading(tasks).decisions;
+  const core::DecisionVector degraded = core::all_local(tasks.size());
+
+  const double envelope = switch_envelope_density(tasks, normal, degraded);
+  double normal_total = 0.0, local_total = 0.0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    normal_total += core::decision_density(tasks[i], normal[i]).to_double();
+    local_total += core::decision_density(tasks[i], degraded[i]).to_double();
+  }
+  EXPECT_GE(envelope + 1e-9, normal_total);
+  EXPECT_GE(envelope + 1e-9, local_total);
+  EXPECT_LE(envelope, normal_total + local_total + 1e-9);
+
+  EXPECT_THROW(
+      switch_envelope_density(tasks, normal, core::all_local(tasks.size() - 1)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rt::health

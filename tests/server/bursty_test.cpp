@@ -69,6 +69,35 @@ TEST(BurstyResponse, ResetReplaysTheSameStateTrajectory) {
   }
 }
 
+// The BatchRunner replication contract: clone() must be a pristine instance
+// with the same configuration and seed, so original, clone, and a reset
+// original all replay the same state trajectory bit for bit.
+TEST(BurstyResponse, CloneAndResetReplayBitIdentically) {
+  for (const std::uint64_t seed : {1ull, 21ull, 0xBEEFull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    BurstyResponse original(two_fixed_states(10_ms, 100_ms), seed);
+    Request req;
+    std::vector<Duration> first;
+    {
+      Rng rng(3);
+      for (int i = 0; i < 500; ++i) {
+        req.send_time = TimePoint::zero() + Duration::milliseconds(40 * i);
+        first.push_back(original.sample(req, rng));
+      }
+    }
+    const std::unique_ptr<ResponseModel> fresh = original.clone();
+    original.reset();
+    Rng rng_clone(3), rng_reset(3);
+    for (int i = 0; i < 500; ++i) {
+      req.send_time = TimePoint::zero() + Duration::milliseconds(40 * i);
+      EXPECT_EQ(fresh->sample(req, rng_clone), first[static_cast<std::size_t>(i)])
+          << "clone diverged at sample " << i;
+      EXPECT_EQ(original.sample(req, rng_reset), first[static_cast<std::size_t>(i)])
+          << "reset replay diverged at sample " << i;
+    }
+  }
+}
+
 TEST(BurstyResponse, InBurstAtTracksState) {
   BurstyResponse model(two_fixed_states(10_ms, 100_ms), 5);
   EXPECT_FALSE(model.in_burst_at(TimePoint::zero()));

@@ -1,0 +1,277 @@
+#include "server/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace rt::server {
+namespace {
+
+using namespace rt::literals;
+
+TimePoint at_ms(std::int64_t ms) {
+  return TimePoint::zero() + Duration::milliseconds(ms);
+}
+
+FaultClause outage(std::int64_t start_ms, std::int64_t end_ms) {
+  FaultClause c;
+  c.kind = FaultKind::kOutage;
+  c.start = at_ms(start_ms);
+  c.end = at_ms(end_ms);
+  return c;
+}
+
+FaultClause slowdown(std::int64_t start_ms, std::int64_t end_ms, double factor) {
+  FaultClause c;
+  c.kind = FaultKind::kSlowdown;
+  c.start = at_ms(start_ms);
+  c.end = at_ms(end_ms);
+  c.factor = factor;
+  return c;
+}
+
+FaultClause drop_burst(std::int64_t start_ms, std::int64_t end_ms, double p) {
+  FaultClause c;
+  c.kind = FaultKind::kDropBurst;
+  c.start = at_ms(start_ms);
+  c.end = at_ms(end_ms);
+  c.drop_probability = p;
+  return c;
+}
+
+FaultClause flapping(std::int64_t start_ms, std::int64_t end_ms,
+                     std::int64_t period_ms, double duty) {
+  FaultClause c;
+  c.kind = FaultKind::kFlapping;
+  c.start = at_ms(start_ms);
+  c.end = at_ms(end_ms);
+  c.period = Duration::milliseconds(period_ms);
+  c.duty = duty;
+  return c;
+}
+
+Request req_at(std::int64_t ms) {
+  Request r;
+  r.send_time = at_ms(ms);
+  return r;
+}
+
+TEST(FaultKindStrings, RoundTripAndUnknown) {
+  for (const FaultKind k : {FaultKind::kOutage, FaultKind::kSlowdown,
+                            FaultKind::kDropBurst, FaultKind::kFlapping}) {
+    EXPECT_EQ(fault_kind_from_string(to_string(k)), k);
+  }
+  EXPECT_THROW(fault_kind_from_string("earthquake"), std::invalid_argument);
+}
+
+TEST(FaultClauseValidation, RejectsBadFieldsPerKind) {
+  FaultClause negative_start = outage(0, 10);
+  negative_start.start = TimePoint::zero() - Duration::milliseconds(1);
+  EXPECT_THROW(negative_start.validate(), std::invalid_argument);
+  EXPECT_THROW(outage(10, 10).validate(), std::invalid_argument);  // empty
+  EXPECT_THROW(outage(10, 5).validate(), std::invalid_argument);   // inverted
+
+  EXPECT_THROW(slowdown(0, 10, 0.0).validate(), std::invalid_argument);
+  EXPECT_THROW(slowdown(0, 10, -2.0).validate(), std::invalid_argument);
+  EXPECT_THROW(slowdown(0, 10, std::nan("")).validate(), std::invalid_argument);
+  EXPECT_THROW(slowdown(0, 10, std::numeric_limits<double>::infinity()).validate(),
+               std::invalid_argument);
+  EXPECT_NO_THROW(slowdown(0, 10, 0.5).validate());  // speedups are allowed
+
+  EXPECT_THROW(drop_burst(0, 10, -0.1).validate(), std::invalid_argument);
+  EXPECT_THROW(drop_burst(0, 10, 1.1).validate(), std::invalid_argument);
+  EXPECT_THROW(drop_burst(0, 10, std::nan("")).validate(), std::invalid_argument);
+  EXPECT_NO_THROW(drop_burst(0, 10, 0.0).validate());
+  EXPECT_NO_THROW(drop_burst(0, 10, 1.0).validate());
+
+  EXPECT_THROW(flapping(0, 10, 0, 0.5).validate(), std::invalid_argument);
+  EXPECT_THROW(flapping(0, 10, 5, -0.1).validate(), std::invalid_argument);
+  EXPECT_THROW(flapping(0, 10, 5, std::nan("")).validate(), std::invalid_argument);
+}
+
+TEST(FaultScriptJson, RoundTripsEveryKind) {
+  FaultScript script;
+  script.seed = 42;
+  script.clauses = {outage(100, 200), slowdown(150, 400, 2.5),
+                    drop_burst(0, 50, 0.75), flapping(500, 900, 40, 0.25)};
+  FaultClause forever = outage(1000, 2000);
+  forever.end = TimePoint::max();
+  script.clauses.push_back(forever);
+
+  const FaultScript back = FaultScript::parse(script.to_json().dump());
+  ASSERT_EQ(back.clauses.size(), script.clauses.size());
+  EXPECT_EQ(back.seed, 42u);
+  for (std::size_t i = 0; i < script.clauses.size(); ++i) {
+    EXPECT_EQ(back.clauses[i].kind, script.clauses[i].kind) << i;
+    EXPECT_EQ(back.clauses[i].start, script.clauses[i].start) << i;
+    EXPECT_EQ(back.clauses[i].end, script.clauses[i].end) << i;
+  }
+  EXPECT_DOUBLE_EQ(back.clauses[1].factor, 2.5);
+  EXPECT_DOUBLE_EQ(back.clauses[2].drop_probability, 0.75);
+  EXPECT_EQ(back.clauses[3].period, 40_ms);
+  EXPECT_DOUBLE_EQ(back.clauses[3].duty, 0.25);
+  EXPECT_EQ(back.clauses[4].end, TimePoint::max());
+}
+
+TEST(FaultScriptJson, ParseValidatesSchema) {
+  // Missing end_ms means forever; defaults fill the rest.
+  const FaultScript s = FaultScript::parse(
+      R"({"clauses": [{"kind": "outage", "start_ms": 5000}]})");
+  EXPECT_EQ(s.seed, 1u);
+  ASSERT_EQ(s.clauses.size(), 1u);
+  EXPECT_EQ(s.clauses[0].end, TimePoint::max());
+
+  EXPECT_THROW(FaultScript::parse("not json"), JsonParseError);
+  EXPECT_THROW(FaultScript::parse(R"({"seed": -3})"), std::invalid_argument);
+  EXPECT_THROW(FaultScript::parse(R"({"seed": 1.5})"), std::invalid_argument);
+  EXPECT_THROW(
+      FaultScript::parse(R"({"clauses": [{"kind": "earthquake"}]})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      FaultScript::parse(
+          R"({"clauses": [{"kind": "slowdown", "factor": 0}]})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      FaultScript::parse(
+          R"({"clauses": [{"kind": "outage", "start_ms": 2, "end_ms": 1}]})"),
+      std::invalid_argument);
+}
+
+TEST(FaultScriptJson, WorkedExampleFileParses) {
+  std::ifstream in(std::string(RTOFFLOAD_EXAMPLES_DIR) + "/faults_outage.json");
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const FaultScript s = FaultScript::parse(buf.str());
+  EXPECT_EQ(s.seed, 7u);
+  ASSERT_EQ(s.clauses.size(), 4u);
+  EXPECT_EQ(s.clauses[0].kind, FaultKind::kSlowdown);
+  EXPECT_EQ(s.clauses[2].kind, FaultKind::kOutage);
+}
+
+TEST(FaultInjector, OutageWindowIsHalfOpen) {
+  FaultScript script;
+  script.clauses = {outage(1000, 2000)};
+  FaultInjector inj(std::make_unique<FixedResponse>(10_ms), script);
+  Rng rng(1);
+  EXPECT_EQ(inj.sample(req_at(999), rng), 10_ms);
+  EXPECT_EQ(inj.sample(req_at(1000), rng), kNoResponse);  // start inclusive
+  EXPECT_EQ(inj.sample(req_at(1999), rng), kNoResponse);
+  EXPECT_EQ(inj.sample(req_at(2000), rng), 10_ms);  // end exclusive
+  EXPECT_TRUE(inj.link_down_at(at_ms(1500)));
+  EXPECT_FALSE(inj.link_down_at(at_ms(2500)));
+}
+
+TEST(FaultInjector, DownWindowConsumesNoCallerRng) {
+  FaultScript script;
+  script.clauses = {outage(0, 1000)};
+  FaultInjector inj(std::make_unique<ShiftedLognormalResponse>(5_ms, 2.0, 0.5),
+                    script);
+  Rng used(99), untouched(99);
+  EXPECT_EQ(inj.sample(req_at(500), used), kNoResponse);
+  // The caller's stream is bit-identical to one that never sampled.
+  EXPECT_EQ(used.next(), untouched.next());
+}
+
+TEST(FaultInjector, SlowdownsComposeMultiplicatively) {
+  FaultScript script;
+  script.clauses = {slowdown(0, 1000, 2.0), slowdown(500, 1500, 1.5)};
+  FaultInjector inj(std::make_unique<FixedResponse>(10_ms), script);
+  Rng rng(1);
+  EXPECT_EQ(inj.sample(req_at(100), rng), 20_ms);   // first clause only
+  EXPECT_EQ(inj.sample(req_at(700), rng), 30_ms);   // both overlap: 2.0 * 1.5
+  EXPECT_EQ(inj.sample(req_at(1200), rng), 15_ms);  // second clause only
+  EXPECT_EQ(inj.sample(req_at(2000), rng), 10_ms);  // healthy
+}
+
+TEST(FaultInjector, SlowdownLeavesDropsAlone) {
+  FaultScript script;
+  script.clauses = {slowdown(0, 1000, 3.0)};
+  FaultInjector inj(std::make_unique<NeverResponds>(), script);
+  Rng rng(1);
+  EXPECT_EQ(inj.sample(req_at(100), rng), kNoResponse);  // not scaled max()
+}
+
+TEST(FaultInjector, FlappingFollowsPeriodAndDuty) {
+  FaultScript script;
+  script.clauses = {flapping(1000, 2000, 100, 0.5)};
+  FaultInjector inj(std::make_unique<FixedResponse>(10_ms), script);
+  // Phase is measured from the clause start: down for the first 50 ms of
+  // every 100 ms cycle, up for the rest; outside the window always up.
+  EXPECT_TRUE(inj.link_down_at(at_ms(1000)));
+  EXPECT_TRUE(inj.link_down_at(at_ms(1049)));
+  EXPECT_FALSE(inj.link_down_at(at_ms(1050)));
+  EXPECT_FALSE(inj.link_down_at(at_ms(1099)));
+  EXPECT_TRUE(inj.link_down_at(at_ms(1100)));
+  EXPECT_FALSE(inj.link_down_at(at_ms(999)));
+  EXPECT_FALSE(inj.link_down_at(at_ms(2000)));
+}
+
+TEST(FaultInjector, DropBurstDropsInsideWindowOnly) {
+  FaultScript script;
+  script.seed = 5;
+  script.clauses = {drop_burst(1000, 2000, 1.0)};
+  FaultInjector inj(std::make_unique<FixedResponse>(10_ms), script);
+  Rng rng(1);
+  EXPECT_EQ(inj.sample(req_at(500), rng), 10_ms);
+  EXPECT_EQ(inj.sample(req_at(1500), rng), kNoResponse);
+  EXPECT_EQ(inj.sample(req_at(2500), rng), 10_ms);
+}
+
+// The replication contract (BatchRunner): clone() is a pristine instance
+// with the same configuration, reset() rewinds to construction. All three
+// must replay bit-identically over the same request/Rng streams, including
+// the injector's private drop draws.
+TEST(FaultInjector, CloneAndResetReplayBitIdentically) {
+  FaultScript script;
+  script.seed = 1234;
+  script.clauses = {drop_burst(0, 60000, 0.4), slowdown(10000, 30000, 2.0),
+                    flapping(40000, 50000, 700, 0.3)};
+  FaultInjector original(
+      std::make_unique<ShiftedLognormalResponse>(5_ms, 2.0, 0.5, 0.05), script);
+
+  std::vector<Duration> first;
+  {
+    Rng rng(77);
+    for (int i = 0; i < 400; ++i) {
+      first.push_back(original.sample(req_at(150 * i), rng));
+    }
+  }
+  ASSERT_TRUE(std::count(first.begin(), first.end(), kNoResponse) > 0);
+
+  const std::unique_ptr<ResponseModel> fresh = original.clone();
+  {
+    Rng rng(77);
+    for (int i = 0; i < 400; ++i) {
+      EXPECT_EQ(fresh->sample(req_at(150 * i), rng),
+                first[static_cast<std::size_t>(i)])
+          << "clone diverged at request " << i;
+    }
+  }
+
+  original.reset();
+  {
+    Rng rng(77);
+    for (int i = 0; i < 400; ++i) {
+      EXPECT_EQ(original.sample(req_at(150 * i), rng),
+                first[static_cast<std::size_t>(i)])
+          << "reset replay diverged at request " << i;
+    }
+  }
+}
+
+TEST(FaultInjector, RejectsNullInnerAndBadScript) {
+  EXPECT_THROW(FaultInjector(nullptr, FaultScript{}), std::invalid_argument);
+  FaultScript bad;
+  bad.clauses = {slowdown(0, 10, -1.0)};
+  EXPECT_THROW(FaultInjector(std::make_unique<FixedResponse>(10_ms), bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rt::server

@@ -70,6 +70,40 @@ TEST(ShiftedLognormal, Validation) {
                std::invalid_argument);
 }
 
+// One regression per rejected parameter state, including the NaN/inf holes
+// plain threshold comparisons let through (NaN compares false everywhere).
+TEST(ShiftedLognormal, ValidationRejectsEachBadField) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  EXPECT_THROW(ShiftedLognormalResponse(0_ms, nan, 0.5), std::invalid_argument);
+  EXPECT_THROW(ShiftedLognormalResponse(0_ms, inf, 0.5), std::invalid_argument);
+  EXPECT_THROW(ShiftedLognormalResponse(0_ms, -inf, 0.5), std::invalid_argument);
+
+  EXPECT_THROW(ShiftedLognormalResponse(0_ms, 0.0, nan), std::invalid_argument);
+  EXPECT_THROW(ShiftedLognormalResponse(0_ms, 0.0, inf), std::invalid_argument);
+
+  EXPECT_THROW(ShiftedLognormalResponse(0_ms, 0.0, 0.5, nan),
+               std::invalid_argument);
+  EXPECT_THROW(ShiftedLognormalResponse(0_ms, 0.0, 0.5, -0.01),
+               std::invalid_argument);
+
+  // Boundary values stay accepted: negative mu is a sub-millisecond median,
+  // sigma = 0 a point mass, the drop probability endpoints are meaningful.
+  EXPECT_NO_THROW(ShiftedLognormalResponse(0_ms, -2.0, 0.0, 0.0));
+  EXPECT_NO_THROW(ShiftedLognormalResponse(0_ms, 0.0, 0.5, 1.0));
+}
+
+TEST(EmpiricalResponse, ValidationRejectsEachBadField) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Regression: an empty sample bag has no distribution to draw from.
+  EXPECT_THROW(EmpiricalResponse({}), std::invalid_argument);
+  EXPECT_THROW(EmpiricalResponse({10_ms}, nan), std::invalid_argument);
+  EXPECT_THROW(EmpiricalResponse({10_ms}, -0.5), std::invalid_argument);
+  EXPECT_THROW(EmpiricalResponse({10_ms}, 1.5), std::invalid_argument);
+  EXPECT_NO_THROW(EmpiricalResponse({10_ms}, 1.0));
+}
+
 TEST(EmpiricalResponse, DrawsOnlyFromBag) {
   EmpiricalResponse model({10_ms, 20_ms, 30_ms});
   Rng rng(5);

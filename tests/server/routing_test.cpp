@@ -4,6 +4,7 @@
 
 #include "core/odm.hpp"
 #include "core/workload.hpp"
+#include "server/bursty.hpp"
 #include "sim/simulator.hpp"
 
 namespace rt::server {
@@ -49,6 +50,40 @@ TEST(RoutingResponse, Validation) {
   std::vector<std::unique_ptr<ResponseModel>> routes3;
   routes3.push_back(nullptr);
   EXPECT_THROW(RoutingResponse(std::move(routes3), {0}), std::invalid_argument);
+}
+
+// The BatchRunner replication contract through the router: clone() deep-
+// copies every route (pristine, same seeds), reset() rewinds them, and all
+// three replay bit-identically over the same request/Rng streams -- even
+// with a stateful bursty route in the mix.
+TEST(RoutingResponse, CloneAndResetReplayBitIdentically) {
+  std::vector<std::unique_ptr<ResponseModel>> routes;
+  routes.push_back(
+      std::make_unique<ShiftedLognormalResponse>(5_ms, 2.0, 0.6, 0.1));
+  routes.push_back(make_default_bursty(77));
+  RoutingResponse original(std::move(routes), {0, 1});
+
+  Request req;
+  std::vector<Duration> first;
+  {
+    Rng rng(9);
+    for (int i = 0; i < 600; ++i) {
+      req.send_time = TimePoint::zero() + Duration::milliseconds(30 * i);
+      req.stream_id = static_cast<std::size_t>(i) % 2;
+      first.push_back(original.sample(req, rng));
+    }
+  }
+  const std::unique_ptr<ResponseModel> fresh = original.clone();
+  original.reset();
+  Rng rng_clone(9), rng_reset(9);
+  for (int i = 0; i < 600; ++i) {
+    req.send_time = TimePoint::zero() + Duration::milliseconds(30 * i);
+    req.stream_id = static_cast<std::size_t>(i) % 2;
+    EXPECT_EQ(fresh->sample(req, rng_clone), first[static_cast<std::size_t>(i)])
+        << "clone diverged at sample " << i;
+    EXPECT_EQ(original.sample(req, rng_reset), first[static_cast<std::size_t>(i)])
+        << "reset replay diverged at sample " << i;
+  }
 }
 
 TEST(RoutingResponse, TwoComponentsEndToEnd) {

@@ -30,6 +30,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -39,6 +40,8 @@
 #include "exp/sweep.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/sink.hpp"
+#include "rt/health.hpp"
+#include "server/faults.hpp"
 #include "server/gpu_server.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace_export.hpp"
@@ -129,8 +132,17 @@ void write_trace_file(const rt::obs::ChromeTraceWriter& writer,
   writer.write(out);
 }
 
+/// Optional robustness add-ons shared by every input: a fault script
+/// overlaid on the configured server scenario, and the adaptive
+/// degraded-mode controller (all-local fallback vector by default).
+struct RobustnessOptions {
+  std::optional<rt::server::FaultScript> faults;
+  bool adaptive = false;
+};
+
 int run(const std::string& text, std::ostream& os, rt::obs::Sink* sink,
-        rt::obs::ChromeTraceWriter* trace, int pid) {
+        rt::obs::ChromeTraceWriter* trace, int pid,
+        const RobustnessOptions& robust) {
   using namespace rt;
   const Json doc = Json::parse(text);
   const core::TaskSet tasks = core::task_set_from_json(doc);
@@ -160,11 +172,20 @@ int run(const std::string& text, std::ostream& os, rt::obs::Sink* sink,
   }
 
   const auto seed = static_cast<std::uint64_t>(config.number_or("seed", 1));
-  auto srv = parse_scenario(config.string_or("scenario", "not-busy"), seed);
+  std::unique_ptr<server::ResponseModel> srv =
+      parse_scenario(config.string_or("scenario", "not-busy"), seed);
+  if (robust.faults.has_value()) {
+    srv = std::make_unique<server::FaultInjector>(std::move(srv), *robust.faults);
+  }
   sim::SimConfig sim_cfg;
   sim_cfg.horizon = Duration::from_ms(config.number_or("horizon_ms", 10'000.0));
   sim_cfg.seed = seed;
   sim_cfg.sink = sink;
+  std::optional<health::ModeController> controller;
+  if (robust.adaptive) {
+    controller.emplace();  // default config: all-local degraded vector
+    sim_cfg.controller = &*controller;
+  }
   if (trace != nullptr) sim_cfg.trace_capacity = kTraceCapacity;
   const sim::SimResult res = sim::simulate(tasks, odm.decisions, *srv, sim_cfg);
 
@@ -201,6 +222,13 @@ int run(const std::string& text, std::ostream& os, rt::obs::Sink* sink,
   }
   sim_obj["per_task"] = Json(std::move(per_task));
   report["simulation"] = Json(std::move(sim_obj));
+  if (robust.adaptive) {
+    Json::Object adaptive;
+    adaptive["mode_changes"] = static_cast<std::int64_t>(res.metrics.mode_changes);
+    adaptive["time_in_degraded_ms"] =
+        static_cast<double>(res.metrics.time_in_degraded_ns) / 1e6;
+    report["adaptive"] = Json(std::move(adaptive));
+  }
 
   os << Json(std::move(report)).dump(2) << "\n";
   return res.metrics.total_deadline_misses() == 0 ? 0 : 2;
@@ -210,7 +238,8 @@ int run(const std::string& text, std::ostream& os, rt::obs::Sink* sink,
 // Telemetry is collected per file (its own sink / trace track) and merged
 // in that same order, so the outputs are identical for every jobs value.
 int run_files(const std::vector<std::string>& files, unsigned jobs,
-              const std::string& metrics_out, const std::string& trace_out) {
+              const std::string& metrics_out, const std::string& trace_out,
+              const RobustnessOptions& robust) {
   const bool want_metrics = !metrics_out.empty();
   const bool want_trace = !trace_out.empty();
   struct FileResult {
@@ -239,7 +268,7 @@ int run_files(const std::vector<std::string>& files, unsigned jobs,
         buf << in.rdbuf();
         std::ostringstream report;
         r.code = run(buf.str(), report, r.sink.get(), r.trace.get(),
-                     static_cast<int>(i));
+                     static_cast<int>(i), robust);
         r.output = report.str();
       } catch (const std::exception& e) {
         r.error = std::string("error: ") + e.what() + " (in '" + files[i] + "')";
@@ -306,6 +335,7 @@ int main(int argc, char** argv) {
     double horizon_ms = 20'000.0;
     std::string metrics_out;
     std::string trace_out;
+    RobustnessOptions robust;
     std::vector<std::string> files;
     const auto need_value = [&](int& i, const std::string& flag) -> const char* {
       if (i + 1 >= argc) {
@@ -322,6 +352,8 @@ int main(int argc, char** argv) {
       if (arg == "-h" || arg == "--help") {
         std::cout << "usage: rtoffload_cli [--jobs N] [--metrics-out PATH] "
                      "[--trace-out PATH]\n"
+                     "                     [--faults script.json] "
+                     "[--adaptive]\n"
                      "                     [taskset.json ...] | --fig3 "
                      "[--horizon-ms MS] | --sample\n"
                      "With no input files, runs the built-in sample task "
@@ -330,11 +362,32 @@ int main(int argc, char** argv) {
                      "paper's Figure 3 sweep (default horizon 20000 ms).\n"
                      "--metrics-out writes a telemetry snapshot (.csv for "
                      "CSV, JSON otherwise);\n--trace-out writes a Chrome "
-                     "trace-event timeline for ui.perfetto.dev.\n";
+                     "trace-event timeline for ui.perfetto.dev.\n--faults "
+                     "overlays a fault script (docs/ANALYSIS.md §10, "
+                     "example in examples/) on the\nserver scenario; "
+                     "--adaptive enables the degraded-mode health "
+                     "controller and adds\nits mode-change stats to the "
+                     "report.\n";
         return 0;
       }
       if (arg == "--fig3") {
         fig3 = true;
+        continue;
+      }
+      if (arg == "--faults") {
+        const std::string path = need_value(i, arg);
+        std::ifstream in(path);
+        if (!in) {
+          std::cerr << "error: cannot open fault script '" << path << "'\n";
+          return 1;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        robust.faults = rt::server::FaultScript::parse(buf.str());
+        continue;
+      }
+      if (arg == "--adaptive") {
+        robust.adaptive = true;
         continue;
       }
       if (arg == "--metrics-out") {
@@ -375,6 +428,11 @@ int main(int argc, char** argv) {
         std::cerr << "error: --fig3 takes no input files\n";
         return 1;
       }
+      if (robust.faults.has_value() || robust.adaptive) {
+        std::cerr << "error: --faults/--adaptive apply to task-set inputs, "
+                     "not --fig3\n";
+        return 1;
+      }
       return run_fig3(jobs, horizon_ms, metrics_out, trace_out);
     }
     if (files.empty()) {
@@ -385,12 +443,12 @@ int main(int argc, char** argv) {
       const bool want_trace = !trace_out.empty();
       const int code = run(kSampleFile, std::cout,
                            want_metrics ? &sink : nullptr,
-                           want_trace ? &trace : nullptr, 0);
+                           want_trace ? &trace : nullptr, 0, robust);
       if (want_metrics) write_metrics_file(sink, metrics_out);
       if (want_trace) write_trace_file(trace, trace_out);
       return code;
     }
-    return run_files(files, jobs, metrics_out, trace_out);
+    return run_files(files, jobs, metrics_out, trace_out, robust);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
