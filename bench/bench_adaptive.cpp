@@ -1,20 +1,24 @@
 // Degraded-mode benefit retention under scripted server faults
 // (docs/ANALYSIS.md §10, BENCH_adaptive.json).
 //
-// One paper-generator task set; the server's true response distribution is
-// the benefit function itself (the Figure 3 setting, where the benefit IS
-// the probability of a timely higher-performance result). Mid-run, a fault
-// window [15 s, 45 s) inflates every response by a severity factor f and
-// drops a quarter of the requests. Three policies per severity:
+// The scenario is the checked-in examples/specs/adaptive_outage.json
+// document (schema v1, docs/SCENARIOS.md): one paper-generator task set
+// whose server's true response distribution is the benefit function itself
+// (the Figure 3 setting, where the benefit IS the probability of a timely
+// higher-performance result). Mid-run, a fault window [15 s, 45 s)
+// inflates every response by a severity factor f and drops a quarter of
+// the requests. Three policies per severity, all derived from the one
+// document via spec overrides:
 //
-//   * baseline -- the static ODM vector, no faults (the ceiling);
-//   * static   -- the same vector riding out the fault window: every
-//                 offload burns its setup budget, the compensation timer
-//                 fires, benefit G(0) = 0 accrues;
-//   * adaptive -- the rt/health.hpp controller switching, at job release
-//                 boundaries, to a pessimistic ODM vector computed with
-//                 estimation_error = f - 1 (its windows (1 + x) r = f r
-//                 admit the inflated responses), then recovering after the
+//   * baseline -- the document with faults + controller stripped (the
+//                 ceiling);
+//   * static   -- the controller stripped, the slowdown factor overridden
+//                 to f: every offload burns its setup budget, the
+//                 compensation timer fires, benefit G(0) = 0 accrues;
+//   * adaptive -- the document's pessimistic-odm controller with
+//                 estimation_error overridden to f - 1 (its windows
+//                 (1 + x) r = f r admit the inflated responses), switching
+//                 at job release boundaries and recovering after the
 //                 window passes.
 //
 // Severities stay modest (f <= 3): beyond that the pessimistic ODM cannot
@@ -32,14 +36,13 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "core/odm.hpp"
-#include "core/workload.hpp"
 #include "exp/batch.hpp"
 #include "rt/health.hpp"
-#include "server/faults.hpp"
-#include "sim/benefit_response.hpp"
+#include "spec/grid.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -49,41 +52,23 @@ using namespace rt;
 namespace {
 
 constexpr double kSeverities[] = {1.5, 2.0, 3.0};
-const Duration kHorizon = Duration::seconds(60);
-const TimePoint kFaultStart = TimePoint::zero() + Duration::seconds(15);
-const TimePoint kFaultEnd = TimePoint::zero() + Duration::seconds(45);
 
-server::FaultScript make_script(double factor) {
-  server::FaultScript script;
-  script.seed = 0xFA01;
-  server::FaultClause slow;
-  slow.kind = server::FaultKind::kSlowdown;
-  slow.start = kFaultStart;
-  slow.end = kFaultEnd;
-  slow.factor = factor;
-  server::FaultClause burst;
-  burst.kind = server::FaultKind::kDropBurst;
-  burst.start = kFaultStart;
-  burst.end = kFaultEnd;
-  burst.drop_probability = 0.25;
-  script.clauses = {slow, burst};
-  script.validate();
-  return script;
+std::string slurp(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error(std::string("cannot open ") + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
 }
 
-health::HealthConfig make_health_config() {
-  health::HealthConfig hc;
-  // The healthy shadow-timely rate in this setting is the mean G_i(r_level)
-  // over the offloaded tasks -- around 0.6, not 1.0 -- so the thresholds
-  // sit well below the library defaults.
-  hc.window = 32;
-  hc.min_samples = 8;
-  hc.degrade_below = 0.3;
-  hc.recover_above = 0.5;
-  hc.min_normal_dwell = Duration::seconds(1);
-  hc.min_degraded_dwell = Duration::seconds(2);
-  hc.validate();
-  return hc;
+/// The document with the given top-level sections removed, re-validated.
+spec::ScenarioDoc without(const spec::ScenarioDoc& doc,
+                          std::initializer_list<const char*> sections) {
+  Json j = doc.to_json();
+  for (const char* s : sections) j.as_object().erase(s);
+  return spec::ScenarioDoc::parse(j);
 }
 
 }  // namespace
@@ -92,63 +77,39 @@ int main() {
   std::cout << "=== Adaptive degraded-mode benefit retention under "
                "scripted faults ===\n\n";
 
-  Rng rng(20140601);
-  core::PaperSimConfig workload;
-  workload.num_tasks = 12;
-  const core::TaskSet tasks = core::make_paper_simulation_taskset(rng, workload);
+  const spec::ScenarioDoc doc = spec::ScenarioDoc::parse_text(
+      slurp(RTOFFLOAD_SPECS_DIR "/adaptive_outage.json"));
+  const spec::ScenarioDoc baseline_doc = without(doc, {"faults", "controller"});
+  const spec::ScenarioDoc static_base = without(doc, {"controller"});
 
-  std::vector<core::BenefitFunction> gs;
-  gs.reserve(tasks.size());
-  for (const auto& t : tasks) gs.push_back(t.benefit);
-  const sim::BenefitDrivenResponse proto(gs);
-
-  core::OdmConfig odm;
-  odm.apply_task_weights = false;
-  const core::DecisionVector static_decisions =
-      core::decide_offloading(tasks, odm).decisions;
-
-  sim::SimConfig sim_cfg;
-  sim_cfg.horizon = kHorizon;
-  sim_cfg.benefit_semantics = sim::BenefitSemantics::kTimelyCount;
-  // Uniform-fraction execution leaves the transient around a mode switch
-  // some slack; deadline misses are still counted and asserted zero below.
-  sim_cfg.exec_policy = sim::ExecTimePolicy::kUniformFraction;
-
-  const health::HealthConfig hc = make_health_config();
+  const double horizon_ms = doc.sim.at("horizon_ms").as_number();
+  const Json& clause0 = doc.faults.at("clauses").as_array()[0];
+  const double fault_start_ms = clause0.at("start_ms").as_number();
+  const double fault_end_ms = clause0.at("end_ms").as_number();
 
   // Index-aligned spec vectors: [0] = fault-free baseline, [1 + k] =
   // severity k. Two runs over the same BatchRunner pair the seeds.
-  std::vector<exp::ScenarioSpec> static_specs, adaptive_specs;
-  const auto push_spec = [&](std::vector<exp::ScenarioSpec>& specs,
-                             std::shared_ptr<const server::ResponseModel> srv,
-                             std::shared_ptr<const health::ModeControllerConfig>
-                                 adaptive) {
-    exp::ScenarioSpec spec;
-    spec.tasks = tasks;
-    spec.decisions = static_decisions;
-    spec.server = std::move(srv);
-    spec.sim = sim_cfg;
-    spec.adaptive = std::move(adaptive);
-    specs.push_back(std::move(spec));
-  };
+  const exp::ScenarioSpec base_spec = spec::to_scenario_spec(baseline_doc);
+  const core::TaskSet& tasks = base_spec.tasks;
+  const core::DecisionVector static_decisions =
+      core::decide_offloading(tasks, base_spec.odm).decisions;
 
-  const std::shared_ptr<const server::ResponseModel> healthy = proto.clone();
-  push_spec(static_specs, healthy, nullptr);
-  push_spec(adaptive_specs, healthy, nullptr);  // index filler: same baseline
+  std::vector<exp::ScenarioSpec> static_specs, adaptive_specs;
+  static_specs.push_back(base_spec);
+  adaptive_specs.push_back(base_spec);  // index filler: same baseline
   std::vector<double> envelopes;
   for (const double f : kSeverities) {
-    const auto faulty = std::make_shared<const server::FaultInjector>(
-        proto.clone(), make_script(f));
-    push_spec(static_specs, faulty, nullptr);
+    static_specs.push_back(spec::to_scenario_spec(
+        spec::with_override(static_base, "faults.clauses[0].factor", Json(f))));
 
-    core::OdmConfig pessimistic = odm;
-    pessimistic.estimation_error = f - 1.0;
-    auto mc = std::make_shared<health::ModeControllerConfig>();
-    mc->health = hc;
-    mc->degraded = core::decide_offloading(tasks, pessimistic).decisions;
-    envelopes.push_back(
-        health::switch_envelope_density(tasks, static_decisions, mc->degraded));
-    push_spec(adaptive_specs, faulty, std::move(mc));
+    spec::ScenarioDoc adoc =
+        spec::with_override(doc, "faults.clauses[0].factor", Json(f));
+    adoc = spec::with_override(adoc, "controller.estimation_error",
+                               Json(f - 1.0));
+    exp::ScenarioSpec aspec = spec::to_scenario_spec(adoc);
+    envelopes.push_back(health::switch_envelope_density(
+        tasks, static_decisions, aspec.adaptive->degraded));
+    adaptive_specs.push_back(std::move(aspec));
   }
 
   exp::BatchConfig batch;
@@ -205,10 +166,10 @@ int main() {
 
   const Json report(Json::Object{
       {"benchmark", Json("adaptive")},
-      {"horizon_ms", Json(kHorizon.ms())},
+      {"spec", Json(std::string(RTOFFLOAD_SPECS_DIR "/adaptive_outage.json"))},
+      {"horizon_ms", Json(horizon_ms)},
       {"fault_window_ms",
-       Json(Json::Array{Json((kFaultStart - TimePoint::zero()).ms()),
-                        Json((kFaultEnd - TimePoint::zero()).ms())})},
+       Json(Json::Array{Json(fault_start_ms), Json(fault_end_ms)})},
       {"baseline_benefit", Json(baseline)},
       {"severities", Json(rows)},
   });

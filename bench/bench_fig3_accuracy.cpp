@@ -14,25 +14,46 @@
 // discrete-event simulation where the server's response distribution is the
 // true G_i. Everything is normalized to the perfect-estimation DP value.
 //
-// The grid runs through exp::run_fig3_sweep -- the parallel BatchRunner
-// with deterministic per-scenario seeding -- so the table is bit-identical
-// for every worker count.
+// The whole grid is declared in examples/specs/fig3.json (schema v1,
+// docs/SCENARIOS.md) and mapped onto exp::run_fig3_sweep -- the parallel
+// BatchRunner with deterministic per-scenario seeding -- so the table is
+// bit-identical for every worker count and reproducible from the CLI via
+// `rtoffload_cli --spec examples/specs/fig3.json`.
 //
 // Expected shape: maximum at x = 0, monotone-ish decay to both sides,
 // DP >= HEU-OE, zero deadline misses for every x (the guarantee).
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "exp/sweep.hpp"
+#include "spec/grid.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
+
+namespace {
+
+std::string slurp(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error(std::string("cannot open ") + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
 
 int main() {
   using namespace rt;
   std::cout << "=== Figure 3: normalized total benefit vs estimation "
                "accuracy ratio ===\n\n";
 
-  exp::Fig3SweepConfig cfg;
+  constexpr const char* kSpecFile = RTOFFLOAD_SPECS_DIR "/fig3.json";
+  const spec::ScenarioDoc doc = spec::ScenarioDoc::parse_text(slurp(kSpecFile));
+  exp::Fig3SweepConfig cfg = spec::fig3_config_from_doc(doc);
   cfg.batch.jobs = util::default_jobs();
   const exp::Fig3SweepResult sweep = exp::run_fig3_sweep(cfg);
 

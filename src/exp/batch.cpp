@@ -5,13 +5,9 @@
 namespace rt::exp {
 
 std::uint64_t scenario_seed(std::uint64_t base_seed, std::size_t index) {
-  // splitmix64 over base + (index+1)*golden-ratio; the +1 keeps scenario 0
-  // from degenerating to the raw base seed.
-  std::uint64_t z = base_seed +
-                    0x9E3779B97F4A7C15ull * (static_cast<std::uint64_t>(index) + 1);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
+  // One shared derivation (util/rng): the same (base, index) pair yields
+  // the same seed in every layer -- batch, sweep, and the spec grid.
+  return derive_seed(base_seed, static_cast<std::uint64_t>(index));
 }
 
 BatchRunner::BatchRunner(BatchConfig config) : config_(config) {

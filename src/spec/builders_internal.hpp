@@ -1,0 +1,16 @@
+#pragma once
+// Internal: registration hooks for the built-in component builders
+// (builders.cpp), called once by the registry singletons (registry.cpp).
+// Explicit registration keeps the static library linker-proof: file-scope
+// self-registration objects in an otherwise-unreferenced translation unit
+// can legally be dropped from a static archive.
+
+#include "spec/registry.hpp"
+
+namespace rt::spec::detail {
+
+void register_builtin_models(Registry<std::unique_ptr<server::ResponseModel>>& r);
+void register_builtin_workloads(Registry<BuiltWorkload>& r);
+void register_builtin_controllers(Registry<health::ModeControllerConfig>& r);
+
+}  // namespace rt::spec::detail

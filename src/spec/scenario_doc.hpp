@@ -1,0 +1,85 @@
+#pragma once
+// ScenarioDoc: the versioned declarative scenario document (schema v1,
+// docs/SCENARIOS.md). One JSON object describes a full experiment --
+// workload, ODM configuration, composed server stack, fault overlay,
+// degraded-mode controller, simulation parameters, and an optional sweep
+// grid -- and this layer turns it into the exact runtime objects the
+// inline C++ APIs build, bit for bit (tests/spec/spec_differential_test).
+//
+// parse() validates strictly (every error names its JSON path, e.g.
+// "$.server.calm.sigma_log: must be >= 0") and normalizes: all defaults
+// are materialized, so parse -> to_json -> parse is a fixed point and a
+// normalized document is a complete, self-describing record of a run.
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/odm.hpp"
+#include "core/task.hpp"
+#include "exp/batch.hpp"
+#include "rt/health.hpp"
+#include "server/response_model.hpp"
+#include "sim/simulator.hpp"
+#include "spec/registry.hpp"
+#include "spec/spec_error.hpp"
+#include "util/json.hpp"
+
+namespace rt::spec {
+
+/// A parsed, validated, fully normalized scenario document. Optional
+/// sections (server, faults, controller, sweep, name) are Json null when
+/// the document omitted them; required sections are always objects.
+struct ScenarioDoc {
+  std::string name;  ///< informational label; empty = absent
+  Json workload;     ///< normalized workload section (always an object)
+  Json odm;          ///< normalized odm section (always an object)
+  Json server;       ///< normalized model stack, or null (ODM-only runs)
+  Json faults;       ///< normalized fault-script overlay, or null
+  Json controller;   ///< normalized controller section, or null
+  Json sim;          ///< normalized sim section (always an object)
+  Json sweep;        ///< normalized sweep section, or null
+
+  /// Strict parse + normalize; throws SpecError with the JSON path of the
+  /// first violation.
+  static ScenarioDoc parse(const Json& doc);
+  static ScenarioDoc parse_text(std::string_view text);
+
+  /// The normalized document; ScenarioDoc::parse(to_json()) == *this.
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Everything build_scenario materializes from a document.
+struct BuiltScenario {
+  core::TaskSet tasks;
+  sim::RequestProfile profile;
+  core::OdmConfig odm;
+  bool exact_pda = false;  ///< $.odm.exact_pda (CLI cross-check knob)
+  /// Fully composed server stack with the $.faults overlay applied;
+  /// nullptr when the document has no server section.
+  std::unique_ptr<server::ResponseModel> server;
+  /// nullptr when the document has no controller section.
+  std::shared_ptr<const health::ModeControllerConfig> controller;
+  /// sim.seed is the document's seed; sink/controller are left null for
+  /// the caller to wire.
+  sim::SimConfig sim;
+};
+
+/// Builds the runtime objects of a (sweep-free) document. Build-time
+/// failures (e.g. controller arity vs. the generated task set) are
+/// reported as SpecError at the owning section's path.
+BuiltScenario build_scenario(const ScenarioDoc& doc);
+
+/// The document as one exp::BatchRunner scenario (server shared, adaptive
+/// prototype shared); spec.sim.seed carries the document seed, which the
+/// runner overrides per scenario exactly like the inline API.
+exp::ScenarioSpec to_scenario_spec(const ScenarioDoc& doc);
+
+/// Section helpers shared with the registry builders (the pessimistic-odm
+/// controller re-solves from the document's odm section).
+Json normalize_odm(const Json& obj, const SpecPath& path);
+core::OdmConfig build_odm_config(const Json& normalized);
+Json normalize_sim(const Json& obj, const SpecPath& path);
+sim::SimConfig build_sim_config(const Json& normalized);
+
+}  // namespace rt::spec

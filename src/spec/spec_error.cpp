@@ -1,0 +1,123 @@
+#include "spec/spec_error.hpp"
+
+#include <cmath>
+
+namespace rt::spec {
+
+const Json::Object& as_object(const Json& j, const SpecPath& path) {
+  if (!j.is_object()) throw SpecError(path, "must be an object");
+  return j.as_object();
+}
+
+const Json::Array& as_array(const Json& j, const SpecPath& path) {
+  if (!j.is_array()) throw SpecError(path, "must be an array");
+  return j.as_array();
+}
+
+void check_keys(const Json& obj, const SpecPath& path,
+                std::initializer_list<std::string_view> allowed) {
+  for (const auto& [key, value] : as_object(obj, path)) {
+    (void)value;
+    bool ok = false;
+    for (const std::string_view a : allowed) ok = ok || key == a;
+    if (!ok) throw SpecError(path, "unknown key '" + key + "'");
+  }
+}
+
+bool has(const Json& obj, const std::string& key) {
+  return obj.is_object() && obj.contains(key);
+}
+
+const Json& require(const Json& obj, const SpecPath& path, const std::string& key) {
+  as_object(obj, path);
+  if (!obj.contains(key)) {
+    throw SpecError(path / key, "required field is missing");
+  }
+  return obj.at(key);
+}
+
+std::string require_string(const Json& obj, const SpecPath& path,
+                           const std::string& key) {
+  const Json& v = require(obj, path, key);
+  if (!v.is_string()) throw SpecError(path / key, "must be a string");
+  return v.as_string();
+}
+
+namespace {
+
+/// Bounds in messages use the JSON shortest-round-trip formatting ("0.5",
+/// not "0.500000").
+std::string num_str(double v) { return Json(v).dump(); }
+
+double read_number(const Json& obj, const SpecPath& path, const std::string& key,
+                   double fallback) {
+  if (!has(obj, key)) return fallback;
+  const Json& v = obj.at(key);
+  if (!v.is_number()) throw SpecError(path / key, "must be a number");
+  const double d = v.as_number();
+  if (!std::isfinite(d)) throw SpecError(path / key, "must be finite");
+  return d;
+}
+
+}  // namespace
+
+double number_or(const Json& obj, const SpecPath& path, const std::string& key,
+                 double fallback) {
+  return read_number(obj, path, key, fallback);
+}
+
+bool bool_or(const Json& obj, const SpecPath& path, const std::string& key,
+             bool fallback) {
+  if (!has(obj, key)) return fallback;
+  const Json& v = obj.at(key);
+  if (!v.is_bool()) throw SpecError(path / key, "must be a boolean");
+  return v.as_bool();
+}
+
+std::string string_or(const Json& obj, const SpecPath& path,
+                      const std::string& key, std::string fallback) {
+  if (!has(obj, key)) return fallback;
+  const Json& v = obj.at(key);
+  if (!v.is_string()) throw SpecError(path / key, "must be a string");
+  return v.as_string();
+}
+
+double number_in(const Json& obj, const SpecPath& path, const std::string& key,
+                 double fallback, double lo, double hi) {
+  const double v = read_number(obj, path, key, fallback);
+  if (!(v >= lo && v <= hi)) {
+    throw SpecError(path / key,
+                    "must be in [" + num_str(lo) + ", " + num_str(hi) + "]");
+  }
+  return v;
+}
+
+double number_above(const Json& obj, const SpecPath& path, const std::string& key,
+                    double fallback, double lo) {
+  const double v = read_number(obj, path, key, fallback);
+  if (!(v > lo)) {
+    throw SpecError(path / key, "must be > " + num_str(lo));
+  }
+  return v;
+}
+
+double number_at_least(const Json& obj, const SpecPath& path,
+                       const std::string& key, double fallback, double lo) {
+  const double v = read_number(obj, path, key, fallback);
+  if (!(v >= lo)) {
+    throw SpecError(path / key, "must be >= " + num_str(lo));
+  }
+  return v;
+}
+
+std::uint64_t integer_or(const Json& obj, const SpecPath& path,
+                         const std::string& key, std::uint64_t fallback) {
+  if (!has(obj, key)) return fallback;
+  const double v = read_number(obj, path, key, 0.0);
+  if (!(v >= 0.0) || v != std::floor(v)) {
+    throw SpecError(path / key, "must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace rt::spec

@@ -1,0 +1,102 @@
+#pragma once
+// JSON-path-qualified errors and field checks for the scenario-spec layer.
+//
+// Every validation failure in a ScenarioDoc names the exact location of the
+// offending value as a JSON path ("$.server.calm.sigma_log: must be >= 0"),
+// so a 200-line composed spec fails with a pointer instead of a shrug. The
+// helpers here are the only way the spec layer reads fields: each one takes
+// the path of the *containing object* and extends it with the key it reads,
+// which is what keeps the paths honest as stacks nest.
+
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace rt::spec {
+
+/// A JSON path under construction: "$", "$.server", "$.routes[2].type"...
+/// Cheap value type; extend with / and pass down by const reference.
+class SpecPath {
+ public:
+  SpecPath() : path_("$") {}
+
+  [[nodiscard]] SpecPath operator/(std::string_view key) const {
+    SpecPath p(*this);
+    p.path_ += '.';
+    p.path_ += key;
+    return p;
+  }
+  [[nodiscard]] SpecPath operator/(std::size_t index) const {
+    SpecPath p(*this);
+    p.path_ += '[';
+    p.path_ += std::to_string(index);
+    p.path_ += ']';
+    return p;
+  }
+
+  [[nodiscard]] const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// The one exception type of the spec layer; what() always leads with the
+/// JSON path of the offending value.
+class SpecError : public std::runtime_error {
+ public:
+  SpecError(const SpecPath& path, const std::string& what)
+      : std::runtime_error(path.str() + ": " + what), path_(path.str()) {}
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// -- typed field access (all throw SpecError at path/key) -------------------
+
+/// The object itself; non-objects error at `path`.
+const Json::Object& as_object(const Json& j, const SpecPath& path);
+const Json::Array& as_array(const Json& j, const SpecPath& path);
+
+/// Rejects keys of `obj` outside `allowed` ("unknown key 'foo'"); the spec
+/// layer is strict so typos fail loudly instead of silently defaulting.
+void check_keys(const Json& obj, const SpecPath& path,
+                std::initializer_list<std::string_view> allowed);
+
+[[nodiscard]] bool has(const Json& obj, const std::string& key);
+
+/// Required fields.
+const Json& require(const Json& obj, const SpecPath& path, const std::string& key);
+std::string require_string(const Json& obj, const SpecPath& path,
+                           const std::string& key);
+
+/// Optional scalars with defaults; present values must have the right type
+/// and be finite (numbers). Range checks are the caller's via the *_in /
+/// *_min variants below.
+double number_or(const Json& obj, const SpecPath& path, const std::string& key,
+                 double fallback);
+bool bool_or(const Json& obj, const SpecPath& path, const std::string& key,
+             bool fallback);
+std::string string_or(const Json& obj, const SpecPath& path,
+                      const std::string& key, std::string fallback);
+
+/// Finite number in [lo, hi] (inclusive); the message names both bounds.
+double number_in(const Json& obj, const SpecPath& path, const std::string& key,
+                 double fallback, double lo, double hi);
+/// Finite number with an exclusive lower bound (e.g. "> 0").
+double number_above(const Json& obj, const SpecPath& path, const std::string& key,
+                    double fallback, double lo);
+/// Finite number >= lo.
+double number_at_least(const Json& obj, const SpecPath& path,
+                       const std::string& key, double fallback, double lo);
+
+/// Non-negative integer (seeds, counts); rejects fractions and negatives.
+std::uint64_t integer_or(const Json& obj, const SpecPath& path,
+                         const std::string& key, std::uint64_t fallback);
+
+}  // namespace rt::spec

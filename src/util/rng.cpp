@@ -97,4 +97,12 @@ std::vector<double> uunifast(Rng& rng, int n, double u_total) {
   return u;
 }
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  // splitmix64 advances its state by the golden gamma before mixing, so
+  // this equals mixing `base + (index + 1) * gamma` -- index 0 never
+  // degenerates to the raw base seed.
+  std::uint64_t x = base + 0x9E3779B97F4A7C15ull * index;
+  return splitmix64(x);
+}
+
 }  // namespace rt

@@ -65,4 +65,12 @@ class Rng {
 /// uniformly distributed over the simplex.
 std::vector<double> uunifast(Rng& rng, int n, double u_total);
 
+/// Deterministic per-index seed derivation: one splitmix64 draw from the
+/// state `base + index * golden-gamma`. This is THE derivation shared by
+/// every layer that needs a family of independent seeds from one base
+/// (exp::scenario_seed, the spec layer's grid expansion): deriving the same
+/// (base, index) pair anywhere yields the same seed, and nothing is drawn
+/// from shared RNG state.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
 }  // namespace rt

@@ -73,6 +73,100 @@ TEST(CliTool, HelpAndMissingFile) {
   EXPECT_EQ(rc, 1);
 }
 
+TEST(CliTool, ListTypesPrintsEveryRegistry) {
+  int rc = 0;
+  const std::string out =
+      run_capture(std::string(RTOFFLOAD_CLI_PATH) + " --list-types", &rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("response-models:"), std::string::npos);
+  EXPECT_NE(out.find("bursty"), std::string::npos);
+  EXPECT_NE(out.find("workloads:"), std::string::npos);
+  EXPECT_NE(out.find("controllers:"), std::string::npos);
+  EXPECT_NE(out.find("solvers:"), std::string::npos);
+  EXPECT_NE(out.find("dp-profits"), std::string::npos);
+}
+
+TEST(CliTool, ValidatePrintsTheNormalizedDocument) {
+  const std::string in_path = scratch_path("spec.json");
+  {
+    std::ofstream out(in_path);
+    out << R"({"workload": {"type": "random", "num_tasks": 3}})";
+  }
+  int rc = 0;
+  const std::string out =
+      run_capture(std::string(RTOFFLOAD_CLI_PATH) + " --validate " + in_path, &rc);
+  std::remove(in_path.c_str());
+  ASSERT_EQ(rc, 0);
+  // Normalized output: every default materialized.
+  const Json doc = Json::parse(out);
+  EXPECT_EQ(doc.at("workload").at("num_tasks").as_number(), 3.0);
+  EXPECT_EQ(doc.at("odm").at("solver").as_string(), "dp-profits");
+  EXPECT_EQ(doc.at("sim").at("horizon_ms").as_number(), 10000.0);
+}
+
+TEST(CliTool, ValidateRejectsInvalidSpec) {
+  const std::string in_path = scratch_path("bad_spec.json");
+  {
+    std::ofstream out(in_path);
+    out << R"json({
+      "workload": {"type": "random"},
+      "server": {"type": "shifted-lognormal", "mu_log_ms": 3, "sigma_log": -1}
+    })json";
+  }
+  int rc = 0;
+  run_capture(std::string(RTOFFLOAD_CLI_PATH) + " --validate " + in_path, &rc);
+  std::remove(in_path.c_str());
+  EXPECT_EQ(rc, 1);
+}
+
+TEST(CliTool, SpecRunMatchesLegacyTaskSetRun) {
+  int rc = 0;
+  const std::string sample =
+      run_capture(std::string(RTOFFLOAD_CLI_PATH) + " --sample", &rc);
+  ASSERT_EQ(rc, 0);
+  const Json sample_doc = Json::parse(sample);
+  const Json& config = sample_doc.at("config");
+
+  const std::string legacy_path = scratch_path("legacy.json");
+  {
+    std::ofstream out(legacy_path);
+    out << sample;
+  }
+  const std::string legacy_report =
+      run_capture(std::string(RTOFFLOAD_CLI_PATH) + " " + legacy_path, &rc);
+  std::remove(legacy_path.c_str());
+  ASSERT_EQ(rc, 0);
+
+  // The same run declared as a scenario-spec document: inline workload,
+  // scenario server (seed defaults to the document's sim seed, exactly the
+  // legacy behavior), same solver/horizon/exact_pda.
+  const Json spec_doc(Json::Object{
+      {"workload", Json(Json::Object{{"type", Json("inline")},
+                                     {"tasks", sample_doc.at("tasks")}})},
+      {"odm", Json(Json::Object{{"solver", config.at("solver")},
+                                {"estimation_error",
+                                 config.at("estimation_error")},
+                                {"exact_pda", config.at("exact_pda")}})},
+      {"server", Json(Json::Object{{"type", Json("scenario")},
+                                   {"name", config.at("scenario")}})},
+      {"sim", Json(Json::Object{{"horizon_ms", config.at("horizon_ms")},
+                                {"seed", config.at("seed")}})},
+  });
+  const std::string spec_path = scratch_path("spec_equiv.json");
+  {
+    std::ofstream out(spec_path);
+    out << spec_doc.dump(2);
+  }
+  const std::string spec_report = run_capture(
+      std::string(RTOFFLOAD_CLI_PATH) + " --spec " + spec_path, &rc);
+  std::remove(spec_path.c_str());
+  ASSERT_EQ(rc, 0);
+
+  // Same scenario, same seeds -> byte-identical report.
+  EXPECT_EQ(legacy_report, spec_report);
+  EXPECT_EQ(Json::parse(legacy_report), Json::parse(spec_report));
+}
+
 TEST(CliTool, MalformedInputFailsCleanly) {
   const std::string in_path = scratch_path("bad.json");
   {

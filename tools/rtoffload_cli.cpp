@@ -6,9 +6,18 @@
 // Usage:
 //   rtoffload_cli <taskset.json> ...    analyze + simulate each file
 //   rtoffload_cli --jobs N f1 f2 ...    process the files on N workers
+//   rtoffload_cli --spec spec.json      run a declarative scenario document
+//   rtoffload_cli --validate spec.json  check a document, print it normalized
+//   rtoffload_cli --list-types          list registered component types
 //   rtoffload_cli --fig3                run the paper's Figure 3 sweep
 //   rtoffload_cli --sample              print a sample task-set file
 //   rtoffload_cli                       run the built-in sample (demo)
+//
+// --spec runs a scenario-spec document (schema in docs/SCENARIOS.md): one
+// JSON object describing workload, server stack, faults, controller, sim
+// parameters, and an optional sweep grid. Without a sweep it prints the
+// same report as a task-set file; with one it expands the grid through
+// exp::BatchRunner and prints a per-scenario summary table.
 //
 // Telemetry (docs/ANALYSIS.md §8), available in every mode:
 //   --metrics-out PATH   write a metric snapshot (.csv -> CSV, else JSON)
@@ -21,11 +30,13 @@
 // default 1) but always printed in argument order; the exit status is the
 // worst one (1 error > 2 deadline misses > 0 clean).
 //
-// Top-level schema: {"tasks": [...], "config": {...}} where config accepts
+// Top-level task-set schema: {"tasks": [...], "config": {...}} where config
+// accepts
 //   solver: "dp-profits" | "heu-oe" | "dp-weights"   (default dp-profits)
 //   scenario: "idle" | "not-busy" | "busy" | "dead"  (default not-busy)
 //   horizon_ms, seed, estimation_error, exact_pda (bool)
-// and each task follows core/serialization.hpp.
+// and each task follows core/serialization.hpp. Solver and scenario names
+// resolve through the same spec-layer registries as --spec documents.
 
 #include <cstdio>
 #include <fstream>
@@ -37,14 +48,17 @@
 #include "core/odm.hpp"
 #include "core/schedulability.hpp"
 #include "core/serialization.hpp"
+#include "exp/batch.hpp"
 #include "exp/sweep.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/sink.hpp"
 #include "rt/health.hpp"
 #include "server/faults.hpp"
-#include "server/gpu_server.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace_export.hpp"
+#include "spec/grid.hpp"
+#include "spec/registry.hpp"
+#include "spec/scenario_doc.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -87,34 +101,6 @@ const char* kSampleFile = R"({
 /// for the sample horizons, and truncation is reported, never silent.
 constexpr std::size_t kTraceCapacity = 1 << 16;
 
-rt::mckp::SolverKind parse_solver(const std::string& name) {
-  if (name == "dp-profits") return rt::mckp::SolverKind::kDpProfits;
-  if (name == "heu-oe") return rt::mckp::SolverKind::kHeuOe;
-  if (name == "dp-weights") return rt::mckp::SolverKind::kDpWeights;
-  throw std::invalid_argument("unknown solver '" + name + "'");
-}
-
-const char* solver_name(rt::mckp::SolverKind kind) {
-  switch (kind) {
-    case rt::mckp::SolverKind::kDpProfits: return "dp-profits";
-    case rt::mckp::SolverKind::kHeuOe: return "heu-oe";
-    case rt::mckp::SolverKind::kDpWeights: return "dp-weights";
-  }
-  return "?";
-}
-
-std::unique_ptr<rt::server::ResponseModel> parse_scenario(const std::string& name,
-                                                          std::uint64_t seed) {
-  using rt::server::Scenario;
-  if (name == "idle") return rt::server::make_scenario_server(Scenario::kIdle, seed);
-  if (name == "not-busy") {
-    return rt::server::make_scenario_server(Scenario::kNotBusy, seed);
-  }
-  if (name == "busy") return rt::server::make_scenario_server(Scenario::kBusy, seed);
-  if (name == "dead") return std::make_unique<rt::server::NeverResponds>();
-  throw std::invalid_argument("unknown scenario '" + name + "'");
-}
-
 void write_metrics_file(const rt::obs::Sink& sink, const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot write '" + path + "'");
@@ -132,67 +118,77 @@ void write_trace_file(const rt::obs::ChromeTraceWriter& writer,
   writer.write(out);
 }
 
-/// Optional robustness add-ons shared by every input: a fault script
-/// overlaid on the configured server scenario, and the adaptive
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Optional robustness add-ons shared by every task-set input: a fault
+/// script overlaid on the configured server scenario, and the adaptive
 /// degraded-mode controller (all-local fallback vector by default).
 struct RobustnessOptions {
   std::optional<rt::server::FaultScript> faults;
   bool adaptive = false;
 };
 
-int run(const std::string& text, std::ostream& os, rt::obs::Sink* sink,
-        rt::obs::ChromeTraceWriter* trace, int pid,
-        const RobustnessOptions& robust) {
+/// One fully materialized scenario, however it was described -- a legacy
+/// task-set file or a spec document. run_scenario is the single report
+/// path for both, which is what makes the two input styles byte-identical
+/// on equivalent inputs.
+struct ScenarioRun {
+  rt::core::TaskSet tasks;
+  rt::sim::RequestProfile profile;
+  rt::core::OdmConfig odm;
+  bool exact_pda = false;
+  std::unique_ptr<rt::server::ResponseModel> server;  ///< null = ODM only
+  std::shared_ptr<const rt::health::ModeControllerConfig> controller;
+  rt::sim::SimConfig sim;
+};
+
+int run_scenario(ScenarioRun run, std::ostream& os, rt::obs::Sink* sink,
+                 rt::obs::ChromeTraceWriter* trace, int pid) {
   using namespace rt;
-  const Json doc = Json::parse(text);
-  const core::TaskSet tasks = core::task_set_from_json(doc);
-
-  Json config = Json(Json::Object{});
-  if (doc.contains("config")) config = doc.at("config");
-
-  core::OdmConfig odm_cfg;
-  odm_cfg.solver = parse_solver(config.string_or("solver", "dp-profits"));
-  odm_cfg.estimation_error = config.number_or("estimation_error", 0.0);
-  odm_cfg.sink = sink;
-  const core::OdmResult odm = core::decide_offloading(tasks, odm_cfg);
+  run.odm.sink = sink;
+  const core::OdmResult odm = core::decide_offloading(run.tasks, run.odm);
 
   Json::Object report;
   report["feasible"] = odm.feasible;
   report["theorem3_density"] = odm.density;
   report["claimed_objective"] = odm.claimed_objective;
   report["lp_bound"] = odm.lp_bound;
-  report["decisions"] = core::decisions_to_json(tasks, odm.decisions).at("decisions");
+  report["decisions"] =
+      core::decisions_to_json(run.tasks, odm.decisions).at("decisions");
 
-  if (config.bool_or("exact_pda", false)) {
-    const core::PdaResult pda = core::pda_feasible(tasks, odm.decisions);
+  if (run.exact_pda) {
+    const core::PdaResult pda = core::pda_feasible(run.tasks, odm.decisions);
     Json::Object pda_obj;
     pda_obj["feasible"] = pda.feasible;
     pda_obj["horizon_ms"] = pda.horizon.ms();
     report["exact_pda"] = Json(std::move(pda_obj));
   }
 
-  const auto seed = static_cast<std::uint64_t>(config.number_or("seed", 1));
-  std::unique_ptr<server::ResponseModel> srv =
-      parse_scenario(config.string_or("scenario", "not-busy"), seed);
-  if (robust.faults.has_value()) {
-    srv = std::make_unique<server::FaultInjector>(std::move(srv), *robust.faults);
+  if (run.server == nullptr) {
+    os << Json(std::move(report)).dump(2) << "\n";
+    return 0;
   }
-  sim::SimConfig sim_cfg;
-  sim_cfg.horizon = Duration::from_ms(config.number_or("horizon_ms", 10'000.0));
-  sim_cfg.seed = seed;
-  sim_cfg.sink = sink;
+
+  run.sim.sink = sink;
   std::optional<health::ModeController> controller;
-  if (robust.adaptive) {
-    controller.emplace();  // default config: all-local degraded vector
-    sim_cfg.controller = &*controller;
+  if (run.controller != nullptr) {
+    controller.emplace(*run.controller);
+    run.sim.controller = &*controller;
   }
-  if (trace != nullptr) sim_cfg.trace_capacity = kTraceCapacity;
-  const sim::SimResult res = sim::simulate(tasks, odm.decisions, *srv, sim_cfg);
+  if (trace != nullptr) run.sim.trace_capacity = kTraceCapacity;
+  const sim::SimResult res = sim::simulate(run.tasks, odm.decisions, *run.server,
+                                           run.sim, run.profile);
 
   if (trace != nullptr) {
     std::vector<std::string> names;
-    names.reserve(tasks.size());
-    for (const auto& t : tasks) names.push_back(t.name);
+    names.reserve(run.tasks.size());
+    for (const auto& t : run.tasks) names.push_back(t.name);
     sim::append_chrome_trace(*trace, res.trace, names, pid);
   }
 
@@ -209,10 +205,10 @@ int run(const std::string& text, std::ostream& os, rt::obs::Sink* sink,
   sim_obj["cpu_utilization"] = res.metrics.cpu_utilization();
   sim_obj["trace_truncated"] = res.metrics.trace_truncated;
   Json::Array per_task;
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
+  for (std::size_t i = 0; i < run.tasks.size(); ++i) {
     const auto& m = res.metrics.per_task[i];
     Json::Object t;
-    t["task"] = tasks[i].name;
+    t["task"] = run.tasks[i].name;
     t["released"] = static_cast<std::int64_t>(m.released);
     t["timely"] = static_cast<std::int64_t>(m.timely_results);
     t["compensations"] = static_cast<std::int64_t>(m.compensations);
@@ -222,7 +218,7 @@ int run(const std::string& text, std::ostream& os, rt::obs::Sink* sink,
   }
   sim_obj["per_task"] = Json(std::move(per_task));
   report["simulation"] = Json(std::move(sim_obj));
-  if (robust.adaptive) {
+  if (run.controller != nullptr) {
     Json::Object adaptive;
     adaptive["mode_changes"] = static_cast<std::int64_t>(res.metrics.mode_changes);
     adaptive["time_in_degraded_ms"] =
@@ -232,6 +228,65 @@ int run(const std::string& text, std::ostream& os, rt::obs::Sink* sink,
 
   os << Json(std::move(report)).dump(2) << "\n";
   return res.metrics.total_deadline_misses() == 0 ? 0 : 2;
+}
+
+/// Legacy task-set file -> ScenarioRun. Solver and scenario strings resolve
+/// through the spec registries (the CLI has no private name tables).
+ScenarioRun scenario_from_taskset(const std::string& text,
+                                  const RobustnessOptions& robust) {
+  using namespace rt;
+  const Json doc = Json::parse(text);
+
+  ScenarioRun run;
+  run.tasks = core::task_set_from_json(doc);
+
+  Json config = Json(Json::Object{});
+  if (doc.contains("config")) config = doc.at("config");
+
+  run.odm.solver = spec::solver_from_string(
+      config.string_or("solver", "dp-profits"),
+      spec::SpecPath() / "config" / "solver");
+  run.odm.estimation_error = config.number_or("estimation_error", 0.0);
+  run.exact_pda = config.bool_or("exact_pda", false);
+
+  const auto seed = static_cast<std::uint64_t>(config.number_or("seed", 1));
+  Json model(Json::Object{{"type", Json("scenario")},
+                          {"name", Json(config.string_or("scenario", "not-busy"))}});
+  spec::BuildContext ctx;
+  ctx.default_seed = seed;
+  run.server = spec::build_model(
+      spec::normalize_model(model, spec::SpecPath() / "config" / "scenario"), ctx);
+  if (robust.faults.has_value()) {
+    run.server = std::make_unique<server::FaultInjector>(std::move(run.server),
+                                                         *robust.faults);
+  }
+  if (robust.adaptive) {
+    // Default config: all-local degraded vector.
+    run.controller = std::make_shared<health::ModeControllerConfig>();
+  }
+  run.sim.horizon = Duration::from_ms(config.number_or("horizon_ms", 10'000.0));
+  run.sim.seed = seed;
+  return run;
+}
+
+/// Spec document -> ScenarioRun (the document carries everything).
+ScenarioRun scenario_from_doc(const rt::spec::ScenarioDoc& doc) {
+  rt::spec::BuiltScenario built = rt::spec::build_scenario(doc);
+  ScenarioRun run;
+  run.tasks = std::move(built.tasks);
+  run.profile = std::move(built.profile);
+  run.odm = built.odm;
+  run.exact_pda = built.exact_pda;
+  run.server = std::move(built.server);
+  run.controller = std::move(built.controller);
+  run.sim = built.sim;
+  return run;
+}
+
+int run(const std::string& text, std::ostream& os, rt::obs::Sink* sink,
+        rt::obs::ChromeTraceWriter* trace, int pid,
+        const RobustnessOptions& robust) {
+  return run_scenario(scenario_from_taskset(text, robust), os, sink, trace, pid);
 }
 
 // Analyze every file on `jobs` workers; reports print in argument order.
@@ -294,6 +349,93 @@ int run_files(const std::vector<std::string>& files, unsigned jobs,
   return worst;
 }
 
+// A spec document: a single scenario prints the standard report; a sweep
+// grid runs through exp::BatchRunner and prints a summary row per cell.
+int run_spec(const std::string& path, std::optional<unsigned> jobs_override,
+             const std::string& metrics_out, const std::string& trace_out) {
+  using namespace rt;
+  const spec::ScenarioDoc doc = spec::ScenarioDoc::parse_text(slurp(path));
+
+  const bool has_grid =
+      !doc.sweep.is_null() && !doc.sweep.at("axes").as_array().empty();
+  const bool want_metrics = !metrics_out.empty();
+  const bool want_trace = !trace_out.empty();
+
+  if (!has_grid) {
+    obs::Sink sink;
+    obs::ChromeTraceWriter trace;
+    const int code = run_scenario(scenario_from_doc(doc), std::cout,
+                                  want_metrics ? &sink : nullptr,
+                                  want_trace ? &trace : nullptr, 0);
+    if (want_metrics) write_metrics_file(sink, metrics_out);
+    if (want_trace) write_trace_file(trace, trace_out);
+    return code;
+  }
+
+  spec::BatchPlan plan = spec::plan_batch(doc);
+  if (jobs_override.has_value()) plan.batch.jobs = *jobs_override;
+  exp::BatchRunner runner(plan.batch);
+  obs::Sink sink;
+  const std::vector<exp::ScenarioOutcome> outcomes =
+      runner.run(plan.specs, want_metrics || want_trace ? &sink : nullptr);
+
+  std::printf("%5s  %8s  %10s  %10s  %8s  %7s\n", "index", "feasible",
+              "claimed", "benefit", "timely", "misses");
+  std::uint64_t total_misses = 0;
+  for (const exp::ScenarioOutcome& o : outcomes) {
+    const bool feasible =
+        plan.specs[o.index].decisions.has_value() || o.odm.feasible;
+    std::printf("%5zu  %8s  %10.3f  %10.3f  %8llu  %7llu\n", o.index,
+                feasible ? "yes" : "no", o.odm.claimed_objective,
+                o.metrics.total_benefit(),
+                static_cast<unsigned long long>(o.metrics.total_timely_results()),
+                static_cast<unsigned long long>(o.metrics.total_deadline_misses()));
+    total_misses += o.metrics.total_deadline_misses();
+  }
+  std::printf("scenarios: %zu  total misses: %llu\n", outcomes.size(),
+              static_cast<unsigned long long>(total_misses));
+
+  if (want_metrics) write_metrics_file(sink, metrics_out);
+  if (want_trace) {
+    obs::ChromeTraceWriter writer;
+    obs::append_phase_events(writer, sink);
+    write_trace_file(writer, trace_out);
+  }
+  return total_misses == 0 ? 0 : 2;
+}
+
+// Parse + validate + normalize a spec document; the normalized document
+// goes to stdout (valid input for --spec), diagnostics to stderr.
+int validate_spec(const std::string& path) {
+  using namespace rt;
+  try {
+    const spec::ScenarioDoc doc = spec::ScenarioDoc::parse_text(slurp(path));
+    // Expanding validates every grid point and each axis path.
+    const std::vector<spec::ScenarioDoc> grid = spec::expand_grid(doc);
+    std::cout << doc.to_json().dump(2) << "\n";
+    std::cerr << "ok: " << path << " (" << grid.size()
+              << (grid.size() == 1 ? " scenario)" : " scenarios)") << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << " (in '" << path << "')\n";
+    return 1;
+  }
+}
+
+int list_types() {
+  using namespace rt;
+  const auto print = [](const char* family, const std::vector<std::string>& names) {
+    std::cout << family << ":";
+    for (const std::string& n : names) std::cout << " " << n;
+    std::cout << "\n";
+  };
+  print("response-models", spec::model_registry().types());
+  print("workloads", spec::workload_registry().types());
+  print("controllers", spec::controller_registry().types());
+  print("solvers", spec::solver_names());
+  return 0;
+}
+
 // The paper's Figure 3 sweep with batch telemetry: per-worker scenario
 // swimlanes in the trace, odm/mckp/sim counters in the metrics snapshot.
 int run_fig3(unsigned jobs, double horizon_ms, const std::string& metrics_out,
@@ -311,7 +453,7 @@ int run_fig3(unsigned jobs, double horizon_ms, const std::string& metrics_out,
               "simulated", "misses");
   for (const rt::exp::Fig3Cell& c : result.cells) {
     std::printf("%+7.0f%%  %-10s  %10.3f  %10.3f  %7llu\n", c.error * 100.0,
-                solver_name(c.solver), c.analytic, c.simulated,
+                rt::spec::solver_name(c.solver), c.analytic, c.simulated,
                 static_cast<unsigned long long>(c.misses));
   }
   std::printf("total misses: %llu\n",
@@ -330,11 +472,13 @@ int run_fig3(unsigned jobs, double horizon_ms, const std::string& metrics_out,
 
 int main(int argc, char** argv) {
   try {
-    unsigned jobs = 1;
+    std::optional<unsigned> jobs_flag;
     bool fig3 = false;
     double horizon_ms = 20'000.0;
     std::string metrics_out;
     std::string trace_out;
+    std::string spec_path;
+    std::string validate_path;
     RobustnessOptions robust;
     std::vector<std::string> files;
     const auto need_value = [&](int& i, const std::string& flag) -> const char* {
@@ -354,12 +498,23 @@ int main(int argc, char** argv) {
                      "[--trace-out PATH]\n"
                      "                     [--faults script.json] "
                      "[--adaptive]\n"
-                     "                     [taskset.json ...] | --fig3 "
+                     "                     [taskset.json ...] | --spec "
+                     "spec.json | --validate spec.json\n"
+                     "                     | --list-types | --fig3 "
                      "[--horizon-ms MS] | --sample\n"
                      "With no input files, runs the built-in sample task "
                      "set.\nSeveral files are analyzed on N workers (default "
-                     "1) and reported in argument order.\n--fig3 runs the "
-                     "paper's Figure 3 sweep (default horizon 20000 ms).\n"
+                     "1) and reported in argument order.\n--spec runs a "
+                     "declarative scenario document (docs/SCENARIOS.md): a "
+                     "single scenario\nprints the standard report; a sweep "
+                     "grid prints one summary row per cell\n(--jobs "
+                     "overrides the document's worker count).\n--validate "
+                     "parses and checks a document, prints it normalized "
+                     "with every default\nmaterialized, and exits 1 with a "
+                     "JSON-path-qualified message on any error.\n"
+                     "--list-types lists the registered component types per "
+                     "registry.\n--fig3 runs the paper's Figure 3 sweep "
+                     "(default horizon 20000 ms).\n"
                      "--metrics-out writes a telemetry snapshot (.csv for "
                      "CSV, JSON otherwise);\n--trace-out writes a Chrome "
                      "trace-event timeline for ui.perfetto.dev.\n--faults "
@@ -373,6 +528,17 @@ int main(int argc, char** argv) {
       if (arg == "--fig3") {
         fig3 = true;
         continue;
+      }
+      if (arg == "--spec") {
+        spec_path = need_value(i, arg);
+        continue;
+      }
+      if (arg == "--validate") {
+        validate_path = need_value(i, arg);
+        continue;
+      }
+      if (arg == "--list-types") {
+        return list_types();
       }
       if (arg == "--faults") {
         const std::string path = need_value(i, arg);
@@ -418,10 +584,31 @@ int main(int argc, char** argv) {
           std::cerr << "error: --jobs must be >= 0\n";
           return 1;
         }
-        jobs = v == 0 ? rt::util::default_jobs() : static_cast<unsigned>(v);
+        jobs_flag = v == 0 ? rt::util::default_jobs() : static_cast<unsigned>(v);
         continue;
       }
       files.push_back(arg);
+    }
+    const unsigned jobs = jobs_flag.value_or(1);
+    if (!validate_path.empty()) {
+      if (fig3 || !spec_path.empty() || !files.empty()) {
+        std::cerr << "error: --validate takes exactly one spec document\n";
+        return 1;
+      }
+      return validate_spec(validate_path);
+    }
+    if (!spec_path.empty()) {
+      if (fig3 || !files.empty()) {
+        std::cerr << "error: --spec takes no other inputs\n";
+        return 1;
+      }
+      if (robust.faults.has_value() || robust.adaptive) {
+        std::cerr << "error: --faults/--adaptive apply to task-set inputs; "
+                     "a spec document carries its own faults/controller "
+                     "sections\n";
+        return 1;
+      }
+      return run_spec(spec_path, jobs_flag, metrics_out, trace_out);
     }
     if (fig3) {
       if (!files.empty()) {
