@@ -41,6 +41,7 @@
 
 #include "core/odm.hpp"
 #include "exp/batch.hpp"
+#include "json_summary.hpp"
 #include "rt/health.hpp"
 #include "spec/grid.hpp"
 #include "util/json.hpp"
@@ -164,17 +165,19 @@ int main() {
   }
   table.print(std::cout);
 
-  const Json report(Json::Object{
-      {"benchmark", Json("adaptive")},
-      {"spec", Json(std::string(RTOFFLOAD_SPECS_DIR "/adaptive_outage.json"))},
-      {"horizon_ms", Json(horizon_ms)},
-      {"fault_window_ms",
-       Json(Json::Array{Json(fault_start_ms), Json(fault_end_ms)})},
-      {"baseline_benefit", Json(baseline)},
-      {"severities", Json(rows)},
-  });
-  std::ofstream out("BENCH_adaptive.json");
-  out << report.dump(2) << "\n";
+  rtbench::write_json_summary(
+      "BENCH_adaptive.json", "adaptive",
+      Json(Json::Object{
+          {"spec",
+           Json(std::string(RTOFFLOAD_SPECS_DIR "/adaptive_outage.json"))},
+          {"horizon_ms", Json(horizon_ms)},
+          {"fault_window_ms",
+           Json(Json::Array{Json(fault_start_ms), Json(fault_end_ms)})},
+      }),
+      Json(Json::Object{
+          {"baseline_benefit", Json(baseline)},
+          {"severities", Json(rows)},
+      }));
   std::cout << "\nWrote BENCH_adaptive.json\n"
             << "Deadline misses across all runs (must be 0): " << total_misses
             << "\nAdaptive strictly beats static at every severity: "

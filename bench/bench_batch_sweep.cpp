@@ -19,7 +19,7 @@
 #include <sstream>
 
 #include "exp/sweep.hpp"
-#include "json_summary.hpp"
+#include "json_summary_gbench.hpp"
 #include "spec/grid.hpp"
 
 namespace {

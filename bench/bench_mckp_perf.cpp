@@ -7,7 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/odm.hpp"
-#include "json_summary.hpp"
+#include "json_summary_gbench.hpp"
 #include "core/workload.hpp"
 #include "mckp/branch_bound.hpp"
 #include "mckp/solvers.hpp"

@@ -16,19 +16,37 @@
 // replacement global operator new, the same way tests/obs/overhead_test
 // counts hook allocations -- which is why this binary must not link
 // benchmark_main).
+//
+// The Monte-Carlo replication suite compares K = 1024 replications of the
+// same scenario through exp::BatchRunner (docs/ANALYSIS.md §12):
+//
+//   * BM_SerialLoopReplication -- K index-aligned specs, one full
+//                                 decide -> clone -> simulate pipeline per
+//                                 replication (the pre-batching path);
+//   * BM_HoistedSerialLoop     -- ditto with the decision vector preset,
+//                                 isolating the engine-only comparison;
+//   * BM_BatchReplication      -- one spec with replications = K through
+//                                 sim::BatchSimEngine's shared skeleton.
+//
+// All three are normalized by the same work unit (K x the serial engine's
+// event count for the scenario), so agg_events_per_sec ratios are exactly
+// wall-time ratios; BM_BatchReplication additionally records them as
+// speedup_vs_serial_loop / speedup_vs_hoisted_loop.
 
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <new>
 
 #include "core/odm.hpp"
 #include "core/workload.hpp"
+#include "exp/batch.hpp"
 #include "sim/benefit_response.hpp"
 #include "sim/engine.hpp"
 #include "sim/reference_engine.hpp"
-#include "json_summary.hpp"
+#include "json_summary_gbench.hpp"
 
 namespace {
 
@@ -142,6 +160,111 @@ void BM_SimReference(benchmark::State& state) {
       static_cast<double>(allocs) / (iters * events_per_run);
 }
 BENCHMARK(BM_SimReference)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Monte-Carlo replication: K = 1024 replications of the Fig3-sweep scenario.
+// The horizon is shortened to 20 s so the serial baseline stays benchable;
+// per-replication cost is horizon-linear for every contender, so the ratios
+// match the 200 s setting.
+
+constexpr std::size_t kReplications = 1024;
+constexpr auto kReplicationHorizon = Duration::seconds(20);
+
+/// Specs for one replicated scenario. `hoist_decisions` presets the
+/// decision vector (what a hand-optimized serial loop would do);
+/// `batched` collapses the K specs into one with replications = K.
+std::vector<exp::ScenarioSpec> replication_specs(const Workload& w,
+                                                 bool hoist_decisions,
+                                                 bool batched) {
+  exp::ScenarioSpec spec;
+  spec.tasks = w.tasks;
+  spec.server = std::shared_ptr<const server::ResponseModel>(w.server->clone());
+  spec.sim = w.cfg;
+  if (hoist_decisions) spec.decisions = w.decisions;
+  if (batched) {
+    spec.replications = kReplications;
+    return {std::move(spec)};
+  }
+  return std::vector<exp::ScenarioSpec>(kReplications, spec);
+}
+
+/// The serial engine's event count for one replication at the replication
+/// horizon: the common work unit all three contenders are normalized by.
+double events_per_replication(const Workload& w) {
+  static const double events = [&] {
+    sim::SimEngine probe;
+    (void)probe.run(w.tasks, w.decisions, *w.server, w.cfg);
+    return static_cast<double>(probe.stats().events_processed);
+  }();
+  return events;
+}
+
+/// Shared timing core: runs `specs` through a serial BatchRunner per
+/// iteration and reports the aggregate event rate.
+double run_replication_bench(benchmark::State& state, const Workload& w,
+                             const std::vector<exp::ScenarioSpec>& specs) {
+  exp::BatchRunner runner({.jobs = 1, .base_seed = 42});
+  (void)runner.run(specs);  // warm-up: engine pools reach steady state
+  double elapsed_s = 0.0;   // google-benchmark keeps its clock private
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(runner.run(specs));
+    elapsed_s += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                               t0)
+                     .count();
+  }
+  const double iters = static_cast<double>(state.iterations());
+  const double reps = iters * static_cast<double>(kReplications);
+  const double events = reps * events_per_replication(w);
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["agg_events_per_sec"] =
+      benchmark::Counter(events, benchmark::Counter::kIsRate);
+  state.counters["replications"] = static_cast<double>(kReplications);
+  const double ms_per_rep = reps > 0.0 ? elapsed_s * 1e3 / reps : 0.0;
+  state.counters["ms_per_replication"] = ms_per_rep;
+  return ms_per_rep;
+}
+
+/// Lazily measured baselines shared with BM_BatchReplication's speedup
+/// counters (google-benchmark runs suites independently, so the ratio must
+/// be computed inside one process pass).
+double& serial_loop_ms_per_rep() {
+  static double v = 0.0;
+  return v;
+}
+double& hoisted_loop_ms_per_rep() {
+  static double v = 0.0;
+  return v;
+}
+
+void BM_SerialLoopReplication(benchmark::State& state) {
+  Workload w = make_fig3_workload(kReplicationHorizon);
+  serial_loop_ms_per_rep() =
+      run_replication_bench(state, w, replication_specs(w, false, false));
+}
+BENCHMARK(BM_SerialLoopReplication)->Unit(benchmark::kMillisecond);
+
+void BM_HoistedSerialLoop(benchmark::State& state) {
+  Workload w = make_fig3_workload(kReplicationHorizon);
+  hoisted_loop_ms_per_rep() =
+      run_replication_bench(state, w, replication_specs(w, true, false));
+}
+BENCHMARK(BM_HoistedSerialLoop)->Unit(benchmark::kMillisecond);
+
+void BM_BatchReplication(benchmark::State& state) {
+  Workload w = make_fig3_workload(kReplicationHorizon);
+  const double batch_ms =
+      run_replication_bench(state, w, replication_specs(w, false, true));
+  if (batch_ms > 0.0 && serial_loop_ms_per_rep() > 0.0) {
+    state.counters["speedup_vs_serial_loop"] =
+        serial_loop_ms_per_rep() / batch_ms;
+  }
+  if (batch_ms > 0.0 && hoisted_loop_ms_per_rep() > 0.0) {
+    state.counters["speedup_vs_hoisted_loop"] =
+        hoisted_loop_ms_per_rep() / batch_ms;
+  }
+}
+BENCHMARK(BM_BatchReplication)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,17 +1,22 @@
 #pragma once
-// Machine-readable bench summaries: a ConsoleReporter subclass that, next
-// to the usual console table, collects every iteration run and writes
-//   {"benchmarks": [{"name", "config", "wall_ms", "throughput"}, ...]}
-// to a fixed JSON file (e.g. BENCH_batch.json) in the working directory,
-// so perf tracking can diff runs without scraping stdout.
+// Machine-readable bench summaries: one schema for every suite, so perf
+// tracking can diff BENCH_*.json files without scraping stdout.
 //
-//   int main(int argc, char** argv) {
-//     return rtbench::run_with_json_summary(argc, argv, "BENCH_batch.json");
+//   {
+//     "git_describe": "v0-42-gabc1234",
+//     "benchmarks": [
+//       {"name": ...,
+//        "config":  {"iterations": ..., "threads": ...},
+//        "metrics": {"wall_ms": ..., "throughput": ..., <counters>...}},
+//       ...
+//     ]
 //   }
+//
+// google-benchmark suites get this for free via json_summary_gbench.hpp's
+// run_with_json_summary(); hand-rolled harnesses (e.g. bench_adaptive)
+// build their own config/metrics objects and call write_json_summary().
 
-#include <benchmark/benchmark.h>
-
-#include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -21,70 +26,49 @@
 
 namespace rtbench {
 
-class JsonSummaryReporter : public benchmark::ConsoleReporter {
- public:
-  explicit JsonSummaryReporter(std::string path) : path_(std::move(path)) {}
-
-  void ReportRuns(const std::vector<Run>& runs) override {
-    for (const Run& run : runs) {
-      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
-      if (run.report_big_o || run.report_rms) continue;
-      rt::Json::Object entry;
-      entry["name"] = run.benchmark_name();
-
-      rt::Json::Object config;
-      config["iterations"] = static_cast<std::int64_t>(run.iterations);
-      config["threads"] = static_cast<std::int64_t>(run.threads);
-      for (const auto& [name, counter] : run.counters) {
-        config[name] = static_cast<double>(counter);
-      }
-      entry["config"] = rt::Json(std::move(config));
-
-      const double iters =
-          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
-      entry["wall_ms"] = run.real_accumulated_time / iters * 1e3;
-
-      // items/sec when the bench reported items, else iterations/sec.
-      const auto it = run.counters.find("items_per_second");
-      const double throughput =
-          it != run.counters.end()
-              ? static_cast<double>(it->second)
-              : (run.real_accumulated_time > 0.0
-                     ? iters / run.real_accumulated_time
-                     : 0.0);
-      entry["throughput"] = throughput;
-      entries_.push_back(rt::Json(std::move(entry)));
-    }
-    ConsoleReporter::ReportRuns(runs);
+/// `git describe --tags --always --dirty` of the working tree, so every
+/// summary records which revision produced it; "unknown" outside a
+/// checkout (e.g. an extracted release tarball).
+inline std::string git_describe() {
+  FILE* pipe =
+      ::popen("git describe --tags --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  std::string out;
+  char buf[128];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
   }
+  return out.empty() ? "unknown" : out;
+}
 
-  void Finalize() override {
-    ConsoleReporter::Finalize();
-    rt::Json::Object root;
-    root["benchmarks"] = rt::Json(std::move(entries_));
-    std::ofstream out(path_);
-    if (!out) {
-      std::cerr << "warning: cannot write bench summary '" << path_ << "'\n";
-      return;
-    }
-    out << rt::Json(std::move(root)).dump(2) << "\n";
-    std::cerr << "bench summary written to " << path_ << "\n";
+/// Writes the common summary envelope around caller-built benchmark
+/// entries; each entry should be {"name", "config", "metrics"}.
+inline void write_json_summary(const std::string& path,
+                               rt::Json::Array benchmarks) {
+  rt::Json::Object root;
+  root["git_describe"] = git_describe();
+  root["benchmarks"] = rt::Json(std::move(benchmarks));
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write bench summary '" << path << "'\n";
+    return;
   }
+  out << rt::Json(std::move(root)).dump(2) << "\n";
+  std::cerr << "bench summary written to " << path << "\n";
+}
 
- private:
-  std::string path_;
-  rt::Json::Array entries_;
-};
-
-/// Drop-in replacement for benchmark_main's main() that adds the summary.
-inline int run_with_json_summary(int argc, char** argv,
-                                 const char* summary_path) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  JsonSummaryReporter reporter{std::string(summary_path)};
-  benchmark::RunSpecifiedBenchmarks(&reporter);
-  benchmark::Shutdown();
-  return 0;
+/// Convenience for single-entry hand-rolled suites.
+inline void write_json_summary(const std::string& path, std::string name,
+                               rt::Json config, rt::Json metrics) {
+  rt::Json::Object entry;
+  entry["name"] = std::move(name);
+  entry["config"] = std::move(config);
+  entry["metrics"] = std::move(metrics);
+  rt::Json::Array benchmarks;
+  benchmarks.push_back(rt::Json(std::move(entry)));
+  write_json_summary(path, std::move(benchmarks));
 }
 
 }  // namespace rtbench

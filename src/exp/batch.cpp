@@ -49,7 +49,6 @@ ScenarioOutcome BatchRunner::run_one(const ScenarioSpec& spec,
     out.decisions = out.odm.decisions;
   }
   if (spec.server != nullptr) {
-    const std::unique_ptr<server::ResponseModel> srv = spec.server->clone();
     sim::SimConfig cfg = spec.sim;
     cfg.seed = scenario_seed(config_.base_seed, index);
     cfg.sink = shard;
@@ -60,14 +59,52 @@ ScenarioOutcome BatchRunner::run_one(const ScenarioSpec& spec,
       controller.emplace(*spec.adaptive);
       cfg.controller = &*controller;
     }
-    const sim::SimResult res =
-        engine.run(spec.tasks, out.decisions, *srv, cfg, spec.profile);
-    out.metrics = res.metrics;
-    if (shard != nullptr && res.metrics.trace_truncated) {
-      shard->registry().counter("batch.traces_truncated").inc();
+    if (spec.replications > 1) {
+      // Monte-Carlo block: one decision pass, replications simulated by
+      // the batched engine under seeds derived from the scenario seed.
+      std::unique_ptr<sim::BatchSimEngine> batch = lease_batch_engine();
+      sim::BatchResult res =
+          batch->run(spec.tasks, out.decisions, *spec.server, cfg,
+                     spec.replications, spec.profile);
+      if (shard != nullptr) {
+        shard->registry()
+            .counter("batch.fast_replications")
+            .inc(batch->stats().fast_replications);
+        shard->registry()
+            .counter("batch.fallback_replications")
+            .inc(batch->stats().fallback_replications);
+      }
+      return_batch_engine(std::move(batch));
+      out.metrics = std::move(res.per_replication.front());
+      out.aggregate = std::move(res.aggregate);
+    } else {
+      const std::unique_ptr<server::ResponseModel> srv = spec.server->clone();
+      const sim::SimResult res =
+          engine.run(spec.tasks, out.decisions, *srv, cfg, spec.profile);
+      out.metrics = res.metrics;
+      out.aggregate.add(out.metrics);
+      if (shard != nullptr && res.metrics.trace_truncated) {
+        shard->registry().counter("batch.traces_truncated").inc();
+      }
     }
   }
   return out;
+}
+
+std::unique_ptr<sim::BatchSimEngine> BatchRunner::lease_batch_engine() const {
+  std::lock_guard<std::mutex> lock(engines_mutex_);
+  if (!batch_engines_.empty()) {
+    std::unique_ptr<sim::BatchSimEngine> e = std::move(batch_engines_.back());
+    batch_engines_.pop_back();
+    return e;
+  }
+  return std::make_unique<sim::BatchSimEngine>();
+}
+
+void BatchRunner::return_batch_engine(
+    std::unique_ptr<sim::BatchSimEngine> engine) const {
+  std::lock_guard<std::mutex> lock(engines_mutex_);
+  batch_engines_.push_back(std::move(engine));
 }
 
 std::vector<ScenarioOutcome> BatchRunner::run(

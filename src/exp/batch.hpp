@@ -28,6 +28,8 @@
 #include "core/task.hpp"
 #include "rt/health.hpp"
 #include "server/response_model.hpp"
+#include "sim/batch_engine.hpp"
+#include "sim/batch_metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
@@ -74,6 +76,12 @@ struct ScenarioSpec {
   /// nullptr (the default) simulates the static vector only.
   std::shared_ptr<const health::ModeControllerConfig> adaptive;
   sim::RequestProfile profile;
+  /// Monte-Carlo replications of the simulation. 1 (the default) runs the
+  /// serial engine exactly as before. K > 1 runs the batched engine
+  /// (sim/batch_engine.hpp): one decision pass, K simulations under seeds
+  /// derived from the scenario seed, outcome.metrics = replication 0 and
+  /// outcome.aggregate carrying the cross-replication statistics.
+  std::size_t replications = 1;
   /// Opaque caller bookkeeping (e.g. grid coordinates), copied to the
   /// outcome.
   std::uint64_t tag = 0;
@@ -88,7 +96,13 @@ struct ScenarioOutcome {
   /// The decisions actually simulated.
   core::DecisionVector decisions;
   /// Default-constructed (empty per_task) when the spec had no server.
+  /// With replications > 1, the metrics of replication 0 (whose seed is
+  /// the scenario seed's first derived stream, not the scenario seed
+  /// itself).
   sim::SimMetrics metrics;
+  /// Cross-replication aggregate; aggregate.replications == the spec's
+  /// replication count (0 when the spec had no server).
+  sim::BatchMetrics aggregate;
 };
 
 class BatchRunner {
@@ -125,6 +139,11 @@ class BatchRunner {
   ScenarioOutcome run_one(const ScenarioSpec& spec, std::size_t index,
                           obs::Sink* shard, sim::SimEngine& engine) const;
 
+  /// Reusable batched engine per worker, pooled like EngineLease's
+  /// serial engines; only claimed for specs with replications > 1.
+  [[nodiscard]] std::unique_ptr<sim::BatchSimEngine> lease_batch_engine() const;
+  void return_batch_engine(std::unique_ptr<sim::BatchSimEngine> engine) const;
+
   /// Checks a reusable simulation engine out of the runner-owned pool
   /// (creating one on first use) and returns it at scope exit. Engines
   /// persist across run() calls, so each worker's slot pools, heaps, and
@@ -149,6 +168,7 @@ class BatchRunner {
   /// Idle reusable engines; at most one per concurrently active worker.
   mutable std::mutex engines_mutex_;
   mutable std::vector<std::unique_ptr<sim::SimEngine>> engines_;
+  mutable std::vector<std::unique_ptr<sim::BatchSimEngine>> batch_engines_;
 };
 
 }  // namespace rt::exp

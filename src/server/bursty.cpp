@@ -54,6 +54,14 @@ Duration BurstyResponse::sample(const Request& req, Rng& rng) {
   return (in_burst_ ? config_.burst : config_.calm)->sample(req, rng);
 }
 
+void BurstyResponse::sample_n(const Request& req, std::span<Rng> rngs,
+                              std::span<Duration> out) {
+  // N sequential sample() calls share one send time, so advance_to runs once
+  // (the repeats are no-ops) and every draw hits the same state's model.
+  advance_to(req.send_time);
+  (in_burst_ ? config_.burst : config_.calm)->sample_n(req, rngs, out);
+}
+
 bool BurstyResponse::in_burst_at(TimePoint t) {
   advance_to(t);
   return in_burst_;

@@ -33,6 +33,8 @@ class BurstyResponse final : public ResponseModel {
   BurstyResponse(BurstyConfig config, std::uint64_t seed);
 
   Duration sample(const Request& req, Rng& rng) override;
+  void sample_n(const Request& req, std::span<Rng> rngs,
+                std::span<Duration> out) override;
   void reset() override;
   std::unique_ptr<ResponseModel> clone() const override;
 

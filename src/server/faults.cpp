@@ -190,6 +190,45 @@ Duration FaultInjector::sample(const Request& req, Rng& rng) {
   return factor == 1.0 ? response : response.scaled(factor);
 }
 
+void FaultInjector::sample_n(const Request& req, std::span<Rng> rngs,
+                             std::span<Duration> out) {
+  const TimePoint t = req.send_time;
+  if (link_down_at(t)) {
+    // Deterministically down: no rng (ours or the callers') is consumed,
+    // exactly as in sample().
+    for (Duration& d : out) d = kNoResponse;
+    return;
+  }
+  for (const FaultClause& c : script_.clauses) {
+    if (c.kind == FaultKind::kDropBurst && c.active_at(t) &&
+        c.drop_probability > 0.0) {
+      // An active drop burst draws from fault_rng_ per request, so the
+      // per-index interleaving of the scalar path must be preserved.
+      ResponseModel::sample_n(req, rngs, out);
+      return;
+    }
+  }
+  inner_->sample_n(req, rngs, out);
+  double factor = 1.0;
+  for (const FaultClause& c : script_.clauses) {
+    if (c.kind == FaultKind::kSlowdown && c.active_at(t)) factor *= c.factor;
+  }
+  if (factor == 1.0) return;
+  for (Duration& d : out) {
+    if (d != kNoResponse) d = d.scaled(factor);
+  }
+}
+
+bool FaultInjector::is_stateless() const {
+  // The only mutable state is fault_rng_, touched solely by drop bursts.
+  for (const FaultClause& c : script_.clauses) {
+    if (c.kind == FaultKind::kDropBurst && c.drop_probability > 0.0) {
+      return false;
+    }
+  }
+  return inner_->is_stateless();
+}
+
 void FaultInjector::reset() {
   inner_->reset();
   fault_rng_ = Rng(script_.seed);

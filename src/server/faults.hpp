@@ -95,6 +95,9 @@ class FaultInjector final : public ResponseModel {
   FaultInjector(std::unique_ptr<ResponseModel> inner, FaultScript script);
 
   Duration sample(const Request& req, Rng& rng) override;
+  void sample_n(const Request& req, std::span<Rng> rngs,
+                std::span<Duration> out) override;
+  bool is_stateless() const override;
   void reset() override;
   std::unique_ptr<ResponseModel> clone() const override;
 

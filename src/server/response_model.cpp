@@ -5,6 +5,14 @@
 
 namespace rt::server {
 
+void ResponseModel::sample_n(const Request& req, std::span<Rng> rngs,
+                             std::span<Duration> out) {
+  if (rngs.size() != out.size()) {
+    throw std::invalid_argument("sample_n: rngs/out size mismatch");
+  }
+  for (std::size_t i = 0; i < rngs.size(); ++i) out[i] = sample(req, rngs[i]);
+}
+
 ShiftedLognormalResponse::ShiftedLognormalResponse(Duration shift, double mu_log_ms,
                                                    double sigma_log,
                                                    double drop_probability)
@@ -33,6 +41,24 @@ Duration ShiftedLognormalResponse::sample(const Request&, Rng& rng) {
   return shift_ + Duration::from_ms(ms);
 }
 
+void ShiftedLognormalResponse::sample_n(const Request&, std::span<Rng> rngs,
+                                        std::span<Duration> out) {
+  if (rngs.size() != out.size()) {
+    throw std::invalid_argument("sample_n: rngs/out size mismatch");
+  }
+  // Same draw sequence per rng as sample(): optional bernoulli, then the
+  // lognormal (which consumes the rng's cached Box-Muller variate exactly
+  // like the scalar path, keeping downstream draws aligned).
+  for (std::size_t i = 0; i < rngs.size(); ++i) {
+    Rng& rng = rngs[i];
+    if (drop_probability_ > 0.0 && rng.bernoulli(drop_probability_)) {
+      out[i] = kNoResponse;
+      continue;
+    }
+    out[i] = shift_ + Duration::from_ms(rng.lognormal(mu_, sigma_));
+  }
+}
+
 BoundedResponse::BoundedResponse(std::unique_ptr<ResponseModel> inner,
                                  Duration bound)
     : inner_(std::move(inner)), bound_(bound) {
@@ -47,6 +73,14 @@ BoundedResponse::BoundedResponse(std::unique_ptr<ResponseModel> inner,
 Duration BoundedResponse::sample(const Request& req, Rng& rng) {
   const Duration inner = inner_->sample(req, rng);
   return inner <= bound_ ? inner : bound_;
+}
+
+void BoundedResponse::sample_n(const Request& req, std::span<Rng> rngs,
+                               std::span<Duration> out) {
+  inner_->sample_n(req, rngs, out);
+  for (Duration& d : out) {
+    if (!(d <= bound_)) d = bound_;
+  }
 }
 
 EmpiricalResponse::EmpiricalResponse(std::vector<Duration> samples,
@@ -65,6 +99,22 @@ Duration EmpiricalResponse::sample(const Request&, Rng& rng) {
   const auto idx = static_cast<std::size_t>(
       rng.uniform_int(0, static_cast<std::int64_t>(samples_.size()) - 1));
   return samples_[idx];
+}
+
+void EmpiricalResponse::sample_n(const Request&, std::span<Rng> rngs,
+                                 std::span<Duration> out) {
+  if (rngs.size() != out.size()) {
+    throw std::invalid_argument("sample_n: rngs/out size mismatch");
+  }
+  const auto hi = static_cast<std::int64_t>(samples_.size()) - 1;
+  for (std::size_t i = 0; i < rngs.size(); ++i) {
+    Rng& rng = rngs[i];
+    if (drop_probability_ > 0.0 && rng.bernoulli(drop_probability_)) {
+      out[i] = kNoResponse;
+      continue;
+    }
+    out[i] = samples_[static_cast<std::size_t>(rng.uniform_int(0, hi))];
+  }
 }
 
 }  // namespace rt::server

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -41,8 +42,22 @@ class ResponseModel {
  public:
   virtual ~ResponseModel() = default;
   virtual Duration sample(const Request& req, Rng& rng) = 0;
+  /// Batched sampling for replicated simulation: one draw of the *same*
+  /// request per replication stream. Contract (enforced by
+  /// tests/server/sample_n_test.cpp): `sample_n(req, rngs, out)` leaves the
+  /// model and every rng in exactly the state that `out[i] = sample(req,
+  /// rngs[i])` for i = 0..n-1 would, and produces the same outputs. The
+  /// default is that loop; leaves override it to skip the per-draw virtual
+  /// dispatch, wrappers to forward one batched call to their inner model.
+  /// Requires rngs.size() == out.size().
+  virtual void sample_n(const Request& req, std::span<Rng> rngs,
+                        std::span<Duration> out);
   /// Forget accumulated state (queue backlog); no-op for stateless models.
   virtual void reset() {}
+  /// True when sample() is a pure function of (request, rng): it neither
+  /// mutates the model nor depends on earlier calls. A stateless prototype
+  /// can be shared across interleaved replications without clone()/reset().
+  [[nodiscard]] virtual bool is_stateless() const { return false; }
   /// Deep copy of this model *as configured*: same distribution parameters
   /// and seeds, pristine (reset-equivalent) dynamic state. Models are not
   /// thread-safe, so batch evaluation (exp::BatchRunner) replicates one
@@ -55,6 +70,11 @@ class FixedResponse final : public ResponseModel {
  public:
   explicit FixedResponse(Duration response) : response_(response) {}
   Duration sample(const Request&, Rng&) override { return response_; }
+  void sample_n(const Request&, std::span<Rng>,
+                std::span<Duration> out) override {
+    for (Duration& d : out) d = response_;
+  }
+  bool is_stateless() const override { return true; }
   std::unique_ptr<ResponseModel> clone() const override {
     return std::make_unique<FixedResponse>(response_);
   }
@@ -67,6 +87,11 @@ class FixedResponse final : public ResponseModel {
 class NeverResponds final : public ResponseModel {
  public:
   Duration sample(const Request&, Rng&) override { return kNoResponse; }
+  void sample_n(const Request&, std::span<Rng>,
+                std::span<Duration> out) override {
+    for (Duration& d : out) d = kNoResponse;
+  }
+  bool is_stateless() const override { return true; }
   std::unique_ptr<ResponseModel> clone() const override {
     return std::make_unique<NeverResponds>();
   }
@@ -80,6 +105,9 @@ class ShiftedLognormalResponse final : public ResponseModel {
   ShiftedLognormalResponse(Duration shift, double mu_log_ms, double sigma_log,
                            double drop_probability = 0.0);
   Duration sample(const Request& req, Rng& rng) override;
+  void sample_n(const Request& req, std::span<Rng> rngs,
+                std::span<Duration> out) override;
+  bool is_stateless() const override { return true; }
   std::unique_ptr<ResponseModel> clone() const override {
     return std::make_unique<ShiftedLognormalResponse>(*this);
   }
@@ -101,6 +129,9 @@ class BoundedResponse final : public ResponseModel {
   BoundedResponse(std::unique_ptr<ResponseModel> inner, Duration bound);
 
   Duration sample(const Request& req, Rng& rng) override;
+  void sample_n(const Request& req, std::span<Rng> rngs,
+                std::span<Duration> out) override;
+  bool is_stateless() const override { return inner_->is_stateless(); }
   void reset() override { inner_->reset(); }
   std::unique_ptr<ResponseModel> clone() const override {
     return std::make_unique<BoundedResponse>(inner_->clone(), bound_);
@@ -120,6 +151,9 @@ class EmpiricalResponse final : public ResponseModel {
   explicit EmpiricalResponse(std::vector<Duration> samples,
                              double drop_probability = 0.0);
   Duration sample(const Request& req, Rng& rng) override;
+  void sample_n(const Request& req, std::span<Rng> rngs,
+                std::span<Duration> out) override;
+  bool is_stateless() const override { return true; }
   std::unique_ptr<ResponseModel> clone() const override {
     return std::make_unique<EmpiricalResponse>(*this);
   }

@@ -32,6 +32,19 @@ Duration RoutingResponse::sample(const Request& req, Rng& rng) {
   return routes_[route_for(req.stream_id)]->sample(req, rng);
 }
 
+void RoutingResponse::sample_n(const Request& req, std::span<Rng> rngs,
+                               std::span<Duration> out) {
+  // One request routes to exactly one component, so the whole batch does.
+  routes_[route_for(req.stream_id)]->sample_n(req, rngs, out);
+}
+
+bool RoutingResponse::is_stateless() const {
+  for (const auto& r : routes_) {
+    if (!r->is_stateless()) return false;
+  }
+  return true;
+}
+
 void RoutingResponse::reset() {
   for (auto& r : routes_) r->reset();
 }

@@ -25,6 +25,9 @@ class RoutingResponse final : public ResponseModel {
                   std::vector<std::size_t> route_of_stream);
 
   Duration sample(const Request& req, Rng& rng) override;
+  void sample_n(const Request& req, std::span<Rng> rngs,
+                std::span<Duration> out) override;
+  bool is_stateless() const override;
   void reset() override;
   std::unique_ptr<ResponseModel> clone() const override;
 

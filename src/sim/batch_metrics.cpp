@@ -1,0 +1,50 @@
+#include "sim/batch_metrics.hpp"
+
+#include <cmath>
+
+namespace rt::sim {
+
+double MetricStat::ci95_half() const {
+  if (stats.count() < 2) return 0.0;
+  return 1.96 * stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+}
+
+Json MetricStat::to_json() const {
+  Json::Object o;
+  o["mean"] = stats.mean();
+  o["stddev"] = stats.stddev();
+  o["min"] = stats.min();
+  o["max"] = stats.max();
+  o["ci95_half"] = ci95_half();
+  return Json(std::move(o));
+}
+
+void BatchMetrics::add(const SimMetrics& m) {
+  ++replications;
+  total_benefit.add(m.total_benefit());
+  timely_results.add(static_cast<double>(m.total_timely_results()));
+  compensations.add(static_cast<double>(m.total_compensations()));
+  deadline_misses.add(static_cast<double>(m.total_deadline_misses()));
+  std::uint64_t late = 0;
+  for (const TaskMetrics& t : m.per_task) late += t.late_results;
+  late_results.add(static_cast<double>(late));
+  completed.add(static_cast<double>(m.total_completed()));
+  cpu_utilization.add(m.cpu_utilization());
+  context_switches.add(static_cast<double>(m.context_switches));
+}
+
+Json BatchMetrics::to_json() const {
+  Json::Object o;
+  o["replications"] = static_cast<std::int64_t>(replications);
+  o["total_benefit"] = total_benefit.to_json();
+  o["timely_results"] = timely_results.to_json();
+  o["compensations"] = compensations.to_json();
+  o["deadline_misses"] = deadline_misses.to_json();
+  o["late_results"] = late_results.to_json();
+  o["completed"] = completed.to_json();
+  o["cpu_utilization"] = cpu_utilization.to_json();
+  o["context_switches"] = context_switches.to_json();
+  return Json(std::move(o));
+}
+
+}  // namespace rt::sim

@@ -1,0 +1,47 @@
+#pragma once
+// One-pass streaming aggregates over the replications of one scenario.
+//
+// The batched engine (batch_engine.hpp) produces K per-replication
+// SimMetrics; this accumulator folds each one in as it finishes, so the
+// confidence intervals that motivate replication (ISSUE 6, ROADMAP item 3)
+// come out of a single pass with no K-sized retention requirement.
+
+#include <cstddef>
+
+#include "sim/metrics.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace rt::sim {
+
+/// A scalar metric across replications: Welford moments plus the
+/// half-width of the normal-approximation 95% confidence interval.
+struct MetricStat {
+  RunningStats stats;
+
+  void add(double x) { stats.add(x); }
+  [[nodiscard]] double mean() const { return stats.mean(); }
+  [[nodiscard]] double stddev() const { return stats.stddev(); }
+  /// 1.96 * s / sqrt(n); 0 with fewer than two replications.
+  [[nodiscard]] double ci95_half() const;
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Cross-replication aggregate of the scenario-level metrics; one add()
+/// per finished replication.
+struct BatchMetrics {
+  std::size_t replications = 0;
+  MetricStat total_benefit;
+  MetricStat timely_results;
+  MetricStat compensations;
+  MetricStat deadline_misses;
+  MetricStat late_results;
+  MetricStat completed;
+  MetricStat cpu_utilization;
+  MetricStat context_switches;
+
+  void add(const SimMetrics& m);
+  [[nodiscard]] Json to_json() const;
+};
+
+}  // namespace rt::sim

@@ -22,12 +22,21 @@ Duration BenefitDrivenResponse::sample(const server::Request& req, Rng& rng) {
   if (req.stream_id >= per_stream_.size()) {
     throw std::out_of_range("BenefitDrivenResponse: unknown stream");
   }
-  const core::BenefitFunction& g = per_stream_[req.stream_id];
-  const double u = rng.uniform();
-  for (std::size_t j = 1; j < g.size(); ++j) {
-    if (g.point(j).value >= u) return g.point(j).response_time;
+  return sample_stream(req.stream_id, rng);
+}
+
+void BenefitDrivenResponse::sample_n(const server::Request& req,
+                                     std::span<Rng> rngs,
+                                     std::span<Duration> out) {
+  if (rngs.size() != out.size()) {
+    throw std::invalid_argument("sample_n: rngs/out size mismatch");
   }
-  return server::kNoResponse;
+  if (req.stream_id >= per_stream_.size()) {
+    throw std::out_of_range("BenefitDrivenResponse: unknown stream");
+  }
+  for (std::size_t i = 0; i < rngs.size(); ++i) {
+    out[i] = sample_stream(req.stream_id, rngs[i]);
+  }
 }
 
 }  // namespace rt::sim

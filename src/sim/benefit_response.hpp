@@ -25,8 +25,27 @@ class BenefitDrivenResponse final : public server::ResponseModel {
   explicit BenefitDrivenResponse(std::vector<core::BenefitFunction> per_stream);
 
   Duration sample(const server::Request& req, Rng& rng) override;
+  void sample_n(const server::Request& req, std::span<Rng> rngs,
+                std::span<Duration> out) override;
+  bool is_stateless() const override { return true; }
   std::unique_ptr<server::ResponseModel> clone() const override {
     return std::make_unique<BenefitDrivenResponse>(per_stream_);
+  }
+
+  [[nodiscard]] std::size_t num_streams() const { return per_stream_.size(); }
+
+  /// The scalar draw with the virtual dispatch and stream lookup peeled
+  /// off: exactly one uniform() per call, walking the breakpoints of a
+  /// known-valid stream. The batch engine calls this directly in its inner
+  /// loop; sample()/sample_n() delegate here so all paths share one
+  /// definition.
+  Duration sample_stream(std::size_t stream, Rng& rng) const {
+    const core::BenefitFunction& g = per_stream_[stream];
+    const double u = rng.uniform();
+    for (std::size_t j = 1; j < g.size(); ++j) {
+      if (g.point(j).value >= u) return g.point(j).response_time;
+    }
+    return server::kNoResponse;
   }
 
  private:

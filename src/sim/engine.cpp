@@ -17,6 +17,7 @@
 #include "obs/sink.hpp"
 #include "obs/timer.hpp"
 #include "rt/health.hpp"
+#include "sim/engine_detail.hpp"
 
 namespace rt::sim {
 
@@ -79,24 +80,9 @@ struct FlightSlot {
   std::uint8_t mode = 0;  ///< the job's release-time mode (see SubJob)
 };
 
-/// Everything about a (task, decision) pair that is constant for a run,
-/// resolved once at reset(): the seed engine recomputed split_deadlines
-/// (an __int128 division) and chased the per-level WCET/benefit vectors on
-/// every release. All cached values are produced by the exact expressions
-/// the reference evaluates, so results stay bit-identical.
-struct TaskCache {
-  bool offloaded = false;
-  Duration period;
-  Duration deadline;
-  Duration exec_wcet;           ///< local WCET, or setup WCET at the level
-  Duration post_wcet;           ///< timely second phase
-  Duration comp_wcet;           ///< compensation second phase at the level
-  Duration d1;                  ///< first-phase relative deadline (EDF)
-  Duration response_time;       ///< decision R
-  double local_benefit = 0.0;   ///< weight * G(0)
-  double timely_benefit = 0.0;  ///< weight * value of a timely result
-  server::Request req;          ///< profile template, stream_id preset
-};
+/// Per-(task, decision) run constants; shared with the batched replication
+/// engine so both compute them from one definition (see engine_detail.hpp).
+using detail::TaskCache;
 
 }  // namespace
 
@@ -324,65 +310,6 @@ struct SimEngine::Impl {
 
   // ---- run setup / teardown ----
 
-  void validate_decisions(const core::DecisionVector& decisions) const {
-    const core::TaskSet& tasks = *tasks_;
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      const auto& d = decisions[i];
-      if (d.offloaded()) {
-        if ((!tasks[i].setup_wcet_per_level.empty() &&
-             d.level >= tasks[i].setup_wcet_per_level.size()) ||
-            (!tasks[i].compensation_wcet_per_level.empty() &&
-             d.level >= tasks[i].compensation_wcet_per_level.size())) {
-          throw std::invalid_argument("simulate: decision level out of range");
-        }
-        if (d.response_time >= tasks[i].deadline) {
-          throw std::invalid_argument(
-              "simulate: R >= D leaves no room for compensation");
-        }
-      }
-    }
-  }
-
-  void fill_cache(std::vector<TaskCache>& cache,
-                  const core::DecisionVector& decisions,
-                  const RequestProfile& profile) const {
-    const core::TaskSet& tasks = *tasks_;
-    cache.assign(tasks.size(), TaskCache{});
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      const auto& task = tasks[i];
-      const auto& decision = decisions[i];
-      TaskCache& tc = cache[i];
-      tc.period = task.period;
-      tc.deadline = task.deadline;
-      tc.offloaded = decision.offloaded();
-      tc.local_benefit = task.weight * task.benefit.local_value();
-      if (!tc.offloaded) {
-        tc.exec_wcet = task.local_wcet;
-        continue;
-      }
-      tc.exec_wcet = task.setup_for_level(decision.level);
-      tc.post_wcet = task.post_wcet;
-      tc.comp_wcet = task.compensation_for_level(decision.level);
-      tc.response_time = decision.response_time;
-      const core::SplitDeadlines split =
-          config_.deadline_policy == DeadlinePolicy::kSplit
-              ? core::split_deadlines(task, decision.response_time, decision.level)
-              : core::naive_deadlines(task, decision.response_time);
-      tc.d1 = split.d1;
-      tc.timely_benefit =
-          config_.benefit_semantics == BenefitSemantics::kQualityValue
-              ? task.weight *
-                    task.benefit
-                        .point(std::min(decision.level, task.benefit.size() - 1))
-                        .value
-              : task.weight;
-      if (i < profile.size() && decision.level < profile[i].size()) {
-        tc.req = profile[i][decision.level];
-      }
-      tc.req.stream_id = i;
-    }
-  }
-
   /// The cache of the vector a job with `mode` was released under.
   [[nodiscard]] const std::vector<TaskCache>& cache_of(std::uint8_t mode) const {
     return mode != 0 ? tcache_degraded_ : tcache_;
@@ -431,24 +358,16 @@ struct SimEngine::Impl {
       throw std::invalid_argument("simulate: decisions arity mismatch");
     }
     core::validate_task_set(tasks);
-    validate_decisions(decisions);
+    detail::validate_decisions(tasks, decisions);
     metrics_.per_task.resize(tasks.size());
     // Deadline-monotonic ranks for the fixed-priority policy.
-    dm_rank_.assign(tasks.size(), 0);
-    std::vector<std::size_t> order(tasks.size());
-    for (std::size_t i = 0; i < tasks.size(); ++i) order[i] = i;
-    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return tasks[a].deadline < tasks[b].deadline;
-    });
-    for (std::size_t rank = 0; rank < order.size(); ++rank) {
-      dm_rank_[order[rank]] = static_cast<std::int64_t>(rank);
-    }
+    detail::compute_dm_ranks(dm_rank_, tasks);
     // Per-(task, decision) constants, hoisted out of the event loop. Each
     // cached value is computed by the same expression the reference engine
     // evaluates per job, so the arithmetic (and hence every metric bit) is
     // unchanged -- the hot path just stops paying for the __int128 division
     // in split_deadlines and the per-level vector walks.
-    fill_cache(tcache_, decisions, profile);
+    detail::fill_task_cache(tcache_, tasks, decisions, config_, profile);
     // Mode controller: re-arm it over the static (normal) vector and build
     // the degraded vector's cache twin. The degraded vector goes through
     // the same validation as the primary one -- a controller must not be
@@ -463,8 +382,8 @@ struct SimEngine::Impl {
       if (degraded.size() != tasks.size()) {
         throw std::invalid_argument("simulate: degraded decisions arity mismatch");
       }
-      validate_decisions(degraded);
-      fill_cache(tcache_degraded_, degraded, profile);
+      detail::validate_decisions(tasks, degraded);
+      detail::fill_task_cache(tcache_degraded_, tasks, degraded, config_, profile);
     }
     // Resolve metric handles once, outside the event loop; with no sink
     // every handle stays null and the per-event hooks are one branch each.

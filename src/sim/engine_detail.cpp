@@ -1,0 +1,81 @@
+#include "sim/engine_detail.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/deadline.hpp"
+
+namespace rt::sim::detail {
+
+void validate_decisions(const core::TaskSet& tasks,
+                        const core::DecisionVector& decisions) {
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto& d = decisions[i];
+    if (d.offloaded()) {
+      if ((!tasks[i].setup_wcet_per_level.empty() &&
+           d.level >= tasks[i].setup_wcet_per_level.size()) ||
+          (!tasks[i].compensation_wcet_per_level.empty() &&
+           d.level >= tasks[i].compensation_wcet_per_level.size())) {
+        throw std::invalid_argument("simulate: decision level out of range");
+      }
+      if (d.response_time >= tasks[i].deadline) {
+        throw std::invalid_argument(
+            "simulate: R >= D leaves no room for compensation");
+      }
+    }
+  }
+}
+
+void fill_task_cache(std::vector<TaskCache>& cache, const core::TaskSet& tasks,
+                     const core::DecisionVector& decisions,
+                     const SimConfig& config, const RequestProfile& profile) {
+  cache.assign(tasks.size(), TaskCache{});
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto& task = tasks[i];
+    const auto& decision = decisions[i];
+    TaskCache& tc = cache[i];
+    tc.period = task.period;
+    tc.deadline = task.deadline;
+    tc.offloaded = decision.offloaded();
+    tc.local_benefit = task.weight * task.benefit.local_value();
+    if (!tc.offloaded) {
+      tc.exec_wcet = task.local_wcet;
+      continue;
+    }
+    tc.exec_wcet = task.setup_for_level(decision.level);
+    tc.post_wcet = task.post_wcet;
+    tc.comp_wcet = task.compensation_for_level(decision.level);
+    tc.response_time = decision.response_time;
+    const core::SplitDeadlines split =
+        config.deadline_policy == DeadlinePolicy::kSplit
+            ? core::split_deadlines(task, decision.response_time, decision.level)
+            : core::naive_deadlines(task, decision.response_time);
+    tc.d1 = split.d1;
+    tc.timely_benefit =
+        config.benefit_semantics == BenefitSemantics::kQualityValue
+            ? task.weight *
+                  task.benefit
+                      .point(std::min(decision.level, task.benefit.size() - 1))
+                      .value
+            : task.weight;
+    if (i < profile.size() && decision.level < profile[i].size()) {
+      tc.req = profile[i][decision.level];
+    }
+    tc.req.stream_id = i;
+  }
+}
+
+void compute_dm_ranks(std::vector<std::int64_t>& ranks,
+                      const core::TaskSet& tasks) {
+  ranks.assign(tasks.size(), 0);
+  std::vector<std::size_t> order(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return tasks[a].deadline < tasks[b].deadline;
+  });
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    ranks[order[rank]] = static_cast<std::int64_t>(rank);
+  }
+}
+
+}  // namespace rt::sim::detail

@@ -132,9 +132,14 @@ Json normalize_sim(const Json& obj, const SpecPath& path) {
              {"horizon_ms", "seed", "exec_policy", "exec_min_fraction",
               "release_policy", "sporadic_slack", "benefit_semantics",
               "deadline_policy", "scheduler_policy",
-              "context_switch_overhead_us"});
+              "context_switch_overhead_us", "replications"});
   Json::Object out;
   out["horizon_ms"] = number_above(obj, path, "horizon_ms", 10000.0, 0.0);
+  const std::uint64_t replications = integer_or(obj, path, "replications", 1);
+  if (replications < 1) {
+    throw SpecError(path / "replications", "must be >= 1");
+  }
+  out["replications"] = Json(static_cast<double>(replications));
   out["seed"] = Json(static_cast<double>(integer_or(obj, path, "seed", 42)));
   out["exec_policy"] =
       enum_field(obj, path, "exec_policy", "always-wcet", kExecPolicies);
@@ -256,6 +261,8 @@ BuiltScenario build_scenario(const ScenarioDoc& doc) {
   out.odm = build_odm_config(doc.odm);
   out.exact_pda = doc.odm.at("exact_pda").as_bool();
   out.sim = build_sim_config(doc.sim);
+  out.replications =
+      static_cast<std::size_t>(doc.sim.at("replications").as_number());
 
   BuildContext ctx;
   ctx.tasks = &out.tasks;
@@ -289,6 +296,7 @@ exp::ScenarioSpec to_scenario_spec(const ScenarioDoc& doc) {
   spec.sim = built.sim;
   spec.adaptive = std::move(built.controller);
   spec.profile = std::move(built.profile);
+  spec.replications = built.replications;
   return spec;
 }
 

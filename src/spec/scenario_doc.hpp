@@ -63,6 +63,10 @@ struct BuiltScenario {
   /// sim.seed is the document's seed; sink/controller are left null for
   /// the caller to wire.
   sim::SimConfig sim;
+  /// $.sim.replications: Monte-Carlo replication count (>= 1, default 1).
+  /// Carried outside SimConfig because replication is an experiment-layer
+  /// concept (exp::ScenarioSpec::replications / sim::BatchSimEngine).
+  std::size_t replications = 1;
 };
 
 /// Builds the runtime objects of a (sweep-free) document. Build-time

@@ -17,6 +17,7 @@
 #include "exp/batch.hpp"
 #include "exp/sweep.hpp"
 #include "obs/sink.hpp"
+#include "sim/benefit_response.hpp"
 
 namespace {
 
@@ -191,6 +192,57 @@ TEST(BatchDeterminism, MergedCountersIdenticalAcrossWorkerCounts) {
       EXPECT_EQ(h.bucket_count(b), other->bucket_count(b));
     }
   }
+}
+
+TEST(BatchDeterminism, ReplicatedSpecsIdenticalAcrossWorkerCounts) {
+  // A spec with replications > 1 leases the batched engine inside the
+  // worker; like everything else, the outcome (replication-0 metrics AND
+  // the cross-replication aggregate) must be bit-identical for every
+  // worker count, and a K = 1 spec must not change at all.
+  Rng rng(7);
+  core::PaperSimConfig wl;
+  wl.num_tasks = 10;
+  const core::TaskSet tasks = core::make_paper_simulation_taskset(rng, wl);
+  std::vector<core::BenefitFunction> gs;
+  for (const auto& t : tasks) gs.push_back(t.benefit);
+  auto server = std::make_shared<sim::BenefitDrivenResponse>(std::move(gs));
+
+  exp::ScenarioSpec spec;
+  spec.tasks = tasks;
+  spec.server = server;
+  spec.sim.horizon = Duration::seconds(5);
+  spec.sim.benefit_semantics = sim::BenefitSemantics::kTimelyCount;
+
+  constexpr std::size_t kReps = 16;
+  std::vector<exp::ScenarioSpec> specs(3, spec);
+  specs[0].replications = kReps;
+  specs[2].replications = kReps;  // specs[1] stays serial (K = 1)
+
+  auto run_with = [&](unsigned jobs) {
+    return exp::BatchRunner({.jobs = jobs, .base_seed = 5}).run(specs);
+  };
+  const std::vector<exp::ScenarioOutcome> o1 = run_with(1);
+  const std::vector<exp::ScenarioOutcome> o4 = run_with(4);
+
+  ASSERT_EQ(o1.size(), 3u);
+  ASSERT_EQ(o4.size(), 3u);
+  for (std::size_t i = 0; i < o1.size(); ++i) {
+    SCOPED_TRACE(i);
+    const std::size_t want = i == 1 ? 1u : kReps;
+    EXPECT_EQ(o1[i].aggregate.replications, want);
+    EXPECT_EQ(o4[i].aggregate.replications, want);
+    // Bit-identical across worker counts: metrics and aggregate stats.
+    EXPECT_EQ(o1[i].metrics.total_benefit(), o4[i].metrics.total_benefit());
+    EXPECT_EQ(o1[i].metrics.total_deadline_misses(),
+              o4[i].metrics.total_deadline_misses());
+    EXPECT_EQ(o1[i].aggregate.total_benefit.mean(),
+              o4[i].aggregate.total_benefit.mean());
+    EXPECT_EQ(o1[i].aggregate.total_benefit.stddev(),
+              o4[i].aggregate.total_benefit.stddev());
+  }
+  // Real signal, or the equalities above are vacuous.
+  EXPECT_GT(o1[0].aggregate.total_benefit.mean(), 0.0);
+  EXPECT_GT(o1[0].aggregate.total_benefit.stddev(), 0.0);
 }
 
 TEST(BatchDeterminism, ForEachRngIsPerIndex) {

@@ -167,6 +167,47 @@ TEST(CliTool, SpecRunMatchesLegacyTaskSetRun) {
   EXPECT_EQ(Json::parse(legacy_report), Json::parse(spec_report));
 }
 
+TEST(CliTool, ReplicationsAddAggregateAndKeepRepZeroReport) {
+  // --replications 1 (the default) must be byte-identical to the plain
+  // run; K > 1 adds the cross-replication aggregate and reports the
+  // metrics of replication 0.
+  int rc = 0;
+  const std::string base =
+      run_capture(std::string(RTOFFLOAD_CLI_PATH), &rc);
+  ASSERT_EQ(rc, 0);
+  const std::string one =
+      run_capture(std::string(RTOFFLOAD_CLI_PATH) + " --replications 1", &rc);
+  ASSERT_EQ(rc, 0);
+  EXPECT_EQ(base, one);
+
+  const std::string many =
+      run_capture(std::string(RTOFFLOAD_CLI_PATH) + " --replications 8", &rc);
+  ASSERT_EQ(rc, 0);
+  const Json report = Json::parse(many);
+  const Json& sim = report.at("simulation");
+  EXPECT_EQ(sim.at("replications").as_number(), 8.0);
+  const Json& agg = report.at("aggregate");
+  EXPECT_EQ(agg.at("replications").as_number(), 8.0);
+  // Replication counts are identical across seeds on this periodic
+  // workload, so released is a degenerate stat; benefit varies.
+  EXPECT_GT(agg.at("total_benefit").at("mean").as_number(), 0.0);
+  EXPECT_GE(agg.at("total_benefit").at("max").as_number(),
+            agg.at("total_benefit").at("min").as_number());
+}
+
+TEST(CliTool, ReplicationsFlagRejectsBadValues) {
+  int rc = 0;
+  run_capture(std::string(RTOFFLOAD_CLI_PATH) + " --replications 0", &rc);
+  EXPECT_EQ(rc, 1);
+  run_capture(std::string(RTOFFLOAD_CLI_PATH) + " --replications nope", &rc);
+  EXPECT_EQ(rc, 1);
+  // Traces record a single serial run; K > 1 is rejected up front.
+  run_capture(std::string(RTOFFLOAD_CLI_PATH) +
+                  " --replications 4 --trace-out /tmp/never_written.json",
+              &rc);
+  EXPECT_EQ(rc, 1);
+}
+
 TEST(CliTool, MalformedInputFailsCleanly) {
   const std::string in_path = scratch_path("bad.json");
   {

@@ -8,7 +8,13 @@
 
 #include "core/odm.hpp"
 #include "core/workload.hpp"
+#include "rt/health.hpp"
+#include "server/bursty.hpp"
+#include "server/faults.hpp"
 #include "server/gpu_server.hpp"
+#include "server/routing.hpp"
+#include "sim/batch_engine.hpp"
+#include "sim/benefit_response.hpp"
 #include "sim/engine.hpp"
 #include "sim/reference_engine.hpp"
 #include "sim/simulator.hpp"
@@ -226,6 +232,221 @@ TEST(Differential, SimulateWrapperMatchesReferenceWithTruncatedTrace) {
   const SimResult opt = simulate(s.tasks, s.decisions, *srv_b, cfg);
   EXPECT_TRUE(ref.metrics.trace_truncated);
   expect_bit_identical(ref, opt, "truncated-trace");
+}
+
+// ---------------------------------------------------------------------------
+// Batched differential: BatchSimEngine's replication r is defined as the
+// serial engine run with seed = derive_seed(base_seed, r) against a fresh
+// server clone. Every metric field must be bit-identical, on the skeleton
+// fast path and on every fallback.
+
+void expect_metrics_bit_identical(const SimMetrics& ref, const SimMetrics& bat,
+                                  const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(ref.per_task.size(), bat.per_task.size());
+  EXPECT_EQ(ref.cpu_busy_ns, bat.cpu_busy_ns);
+  EXPECT_EQ(ref.context_switches, bat.context_switches);
+  EXPECT_EQ(ref.trace_truncated, bat.trace_truncated);
+  EXPECT_EQ(ref.mode_changes, bat.mode_changes);
+  EXPECT_EQ(ref.time_in_degraded_ns, bat.time_in_degraded_ns);
+  EXPECT_EQ(ref.end_time.ns(), bat.end_time.ns());
+  for (std::size_t i = 0; i < ref.per_task.size(); ++i) {
+    SCOPED_TRACE("task " + std::to_string(i));
+    const auto& x = ref.per_task[i];
+    const auto& y = bat.per_task[i];
+    EXPECT_EQ(x.released, y.released);
+    EXPECT_EQ(x.completed, y.completed);
+    EXPECT_EQ(x.deadline_misses, y.deadline_misses);
+    EXPECT_EQ(x.local_runs, y.local_runs);
+    EXPECT_EQ(x.offload_attempts, y.offload_attempts);
+    EXPECT_EQ(x.timely_results, y.timely_results);
+    EXPECT_EQ(x.compensations, y.compensations);
+    EXPECT_EQ(x.late_results, y.late_results);
+    EXPECT_EQ(x.accrued_benefit, y.accrued_benefit);
+    EXPECT_EQ(x.observed_response_ms.count(), y.observed_response_ms.count());
+    EXPECT_EQ(x.observed_response_ms.sum(), y.observed_response_ms.sum());
+    EXPECT_EQ(x.observed_response_ms.mean(), y.observed_response_ms.mean());
+    EXPECT_EQ(x.observed_response_ms.min(), y.observed_response_ms.min());
+    EXPECT_EQ(x.observed_response_ms.max(), y.observed_response_ms.max());
+  }
+}
+
+/// Runs the batch once and the serial engine K times (with derived seeds
+/// and fresh clones) and compares every replication bit for bit. Returns
+/// the engine stats for fast-path/fallback assertions.
+BatchEngineStats expect_batch_matches_serial(
+    const core::TaskSet& tasks, const core::DecisionVector& decisions,
+    const server::ResponseModel& prototype, const SimConfig& cfg,
+    std::size_t replications, const std::string& label) {
+  BatchSimEngine batch;
+  const BatchResult res =
+      batch.run(tasks, decisions, prototype, cfg, replications);
+  EXPECT_EQ(res.per_replication.size(), replications) << label;
+  EXPECT_EQ(res.aggregate.replications, replications) << label;
+
+  SimEngine serial;
+  RunningStats manual_benefit;
+  for (std::size_t r = 0; r < replications; ++r) {
+    const std::unique_ptr<server::ResponseModel> srv = prototype.clone();
+    SimConfig c = cfg;
+    c.seed = derive_seed(cfg.seed, r);
+    const SimResult s = serial.run(tasks, decisions, *srv, c);
+    expect_metrics_bit_identical(s.metrics, res.per_replication[r],
+                                 label + " rep " + std::to_string(r));
+    manual_benefit.add(s.metrics.total_benefit());
+  }
+  // The streaming aggregate folds the same values in the same order.
+  EXPECT_EQ(res.aggregate.total_benefit.mean(), manual_benefit.mean()) << label;
+  EXPECT_EQ(res.aggregate.total_benefit.stddev(), manual_benefit.stddev())
+      << label;
+  const BatchEngineStats st = batch.stats();
+  EXPECT_EQ(st.fast_replications + st.fallback_replications, replications)
+      << label;
+  return st;
+}
+
+SimConfig batch_base_config() {
+  SimConfig cfg;
+  cfg.horizon = 5_s;
+  cfg.seed = 20140601;
+  cfg.benefit_semantics = BenefitSemantics::kTimelyCount;
+  return cfg;  // EDF, always-WCET, periodic: skeleton-eligible
+}
+
+TEST(BatchedDifferential, FastPathMatchesSerialOnBenefitDrivenWorkload) {
+  // Figure 3's setting: the response distribution is the benefit curve, so
+  // G(R) = 1 makes every draw timely and the skeleton fast path carries
+  // (nearly) every replication. This is the non-vacuousness guard: the
+  // grid below would pass trivially if everything fell back.
+  const Fixture s = make_setup(3);
+  std::vector<core::BenefitFunction> gs;
+  for (const auto& t : s.tasks) gs.push_back(t.benefit);
+  const BenefitDrivenResponse server(std::move(gs));
+  const BatchEngineStats st = expect_batch_matches_serial(
+      s.tasks, s.decisions, server, batch_base_config(), 32, "benefit-driven");
+  EXPECT_GT(st.fast_replications, 0u);
+}
+
+TEST(BatchedDifferential, ScenarioServerMatchesAcrossConfigGrid) {
+  // One skeleton-eligible configuration (late draws individually bail to
+  // the serial engine) plus every ineligibility dimension: fixed-priority
+  // dispatch, sporadic releases, stochastic execution, dispatch overhead,
+  // and the naive deadline policy (which stays eligible).
+  struct Variant {
+    const char* name;
+    void (*mutate)(SimConfig&);
+  };
+  const Variant variants[] = {
+      {"eligible", [](SimConfig&) {}},
+      {"naive-deadline",
+       [](SimConfig& c) { c.deadline_policy = DeadlinePolicy::kNaive; }},
+      {"fp-dm",
+       [](SimConfig& c) { c.scheduler_policy = SchedulerPolicy::kFixedPriorityDm; }},
+      {"sporadic",
+       [](SimConfig& c) { c.release_policy = ReleasePolicy::kSporadic; }},
+      {"uniform-exec",
+       [](SimConfig& c) { c.exec_policy = ExecTimePolicy::kUniformFraction; }},
+      {"ctx-overhead",
+       [](SimConfig& c) { c.context_switch_overhead = 10_us; }},
+  };
+  const Fixture s = make_setup(101);
+  for (const auto scenario :
+       {server::Scenario::kNotBusy, server::Scenario::kBusy}) {
+    const auto server = server::make_scenario_server(scenario, 3);
+    for (const auto& v : variants) {
+      SimConfig cfg = batch_base_config();
+      cfg.horizon = 3_s;
+      v.mutate(cfg);
+      expect_batch_matches_serial(
+          s.tasks, s.decisions, *server, cfg, 6,
+          std::string(v.name) + "/" +
+              (scenario == server::Scenario::kNotBusy ? "not-busy" : "busy"));
+    }
+  }
+}
+
+TEST(BatchedDifferential, ComposedFaultRoutingBurstyStackMatches) {
+  // Stateful wrapper stack: faults(routing(bursty, benefit-driven)). The
+  // fault script's drop clause makes the stack stateful (its own RNG), so
+  // the batch draws sequentially per replication; the slowdown window
+  // pushes responses past R mid-run, exercising the bail-to-serial path.
+  const Fixture s = make_setup(7);
+  std::vector<core::BenefitFunction> gs;
+  for (const auto& t : s.tasks) gs.push_back(t.benefit);
+
+  server::BurstyConfig bursty;
+  bursty.mean_calm_duration = 500_ms;
+  bursty.mean_burst_duration = 200_ms;
+  bursty.calm = std::make_unique<server::ShiftedLognormalResponse>(
+      1_ms, /*mu=*/0.0, /*sigma=*/0.4);
+  bursty.burst = std::make_unique<server::ShiftedLognormalResponse>(
+      8_ms, /*mu=*/1.2, /*sigma=*/0.6);
+
+  std::vector<std::unique_ptr<server::ResponseModel>> routes;
+  routes.push_back(
+      std::make_unique<server::BurstyResponse>(std::move(bursty), 0xB0B));
+  routes.push_back(std::make_unique<BenefitDrivenResponse>(std::move(gs)));
+  std::vector<std::size_t> route_of_stream;
+  for (std::size_t i = 0; i < s.tasks.size(); ++i) {
+    route_of_stream.push_back(i % 2);
+  }
+
+  server::FaultScript script;
+  script.seed = 0xFA11;
+  server::FaultClause slow;
+  slow.kind = server::FaultKind::kSlowdown;
+  slow.start = TimePoint::zero() + 1_s;
+  slow.end = TimePoint::zero() + 2_s;
+  slow.factor = 1.5;
+  server::FaultClause drop = slow;
+  drop.kind = server::FaultKind::kDropBurst;
+  drop.drop_probability = 0.1;
+  script.clauses = {slow, drop};
+
+  const server::FaultInjector server(
+      std::make_unique<server::RoutingResponse>(std::move(routes),
+                                                std::move(route_of_stream)),
+      script);
+  SimConfig cfg = batch_base_config();
+  cfg.horizon = 3_s;
+  expect_batch_matches_serial(s.tasks, s.decisions, server, cfg, 8,
+                              "fault-routing-bursty");
+}
+
+TEST(BatchedDifferential, AdaptiveControllerPathMatchesSerial) {
+  // A configured ModeController routes every replication through the
+  // serial engine; begin_run re-arms it per replication on both sides, so
+  // one controller instance serves the batch and the serial loop alike.
+  const Fixture s = make_setup(13);
+  std::vector<core::BenefitFunction> gs;
+  for (const auto& t : s.tasks) gs.push_back(t.benefit);
+  const BenefitDrivenResponse server(std::move(gs));
+
+  core::OdmConfig pessimistic;
+  pessimistic.estimation_error = 1.0;
+  health::ModeControllerConfig mc;
+  mc.health.window = 32;
+  mc.health.min_samples = 8;
+  mc.health.degrade_below = 0.3;
+  mc.health.recover_above = 0.5;
+  mc.degraded = core::decide_offloading(s.tasks, pessimistic).decisions;
+  health::ModeController controller(mc);
+
+  SimConfig cfg = batch_base_config();
+  cfg.controller = &controller;
+  const BatchEngineStats st = expect_batch_matches_serial(
+      s.tasks, s.decisions, server, cfg, 4, "adaptive");
+  EXPECT_EQ(st.fast_replications, 0u);
+  EXPECT_EQ(st.fallback_replications, 4u);
+}
+
+TEST(BatchedDifferential, SingleReplicationEqualsPlainSerialRun) {
+  // K = 1 must reduce to exactly today's pipeline: one serial-equivalent
+  // run under derive_seed(seed, 0).
+  const Fixture s = make_setup(17);
+  const auto server = server::make_scenario_server(server::Scenario::kIdle, 2);
+  expect_batch_matches_serial(s.tasks, s.decisions, *server,
+                              batch_base_config(), 1, "single");
 }
 
 }  // namespace

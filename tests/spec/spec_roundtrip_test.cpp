@@ -99,6 +99,7 @@ TEST(SpecRoundtrip, DefaultsAreMaterialized) {
   EXPECT_EQ(doc.sim.at("horizon_ms").as_number(), 10000.0);
   EXPECT_EQ(doc.sim.at("seed").as_number(), 42.0);
   EXPECT_EQ(doc.sim.at("exec_policy").as_string(), "always-wcet");
+  EXPECT_EQ(doc.sim.at("replications").as_number(), 1.0);
   EXPECT_EQ(doc.workload.at("num_tasks").as_number(), 10.0);
   EXPECT_TRUE(doc.server.is_null());
   EXPECT_TRUE(doc.faults.is_null());
@@ -162,6 +163,27 @@ TEST(SpecErrors, UnknownExecPolicy) {
   Json doc = base_doc();
   doc.as_object()["sim"] = Json::parse(R"({"exec_policy": "bogus"})");
   expect_error_at(doc, "$.sim.exec_policy");
+}
+
+TEST(SpecErrors, ReplicationsBelowOne) {
+  Json doc = base_doc();
+  doc.as_object()["sim"] = Json::parse(R"({"replications": 0})");
+  expect_error_at(doc, "$.sim.replications");
+}
+
+TEST(SpecErrors, ReplicationsNotAnInteger) {
+  Json doc = base_doc();
+  doc.as_object()["sim"] = Json::parse(R"({"replications": 2.5})");
+  expect_error_at(doc, "$.sim.replications");
+}
+
+TEST(SpecRoundtrip, ReplicationsReachTheScenarioSpec) {
+  Json doc = base_doc();
+  doc.as_object()["sim"] = Json::parse(R"({"replications": 64})");
+  const spec::ScenarioDoc parsed = spec::ScenarioDoc::parse(doc);
+  EXPECT_EQ(parsed.sim.at("replications").as_number(), 64.0);
+  const exp::ScenarioSpec spec = spec::to_scenario_spec(parsed);
+  EXPECT_EQ(spec.replications, 64u);
 }
 
 TEST(SpecErrors, ModelRangeViolation) {

@@ -146,6 +146,10 @@ struct ScenarioRun {
   std::unique_ptr<rt::server::ResponseModel> server;  ///< null = ODM only
   std::shared_ptr<const rt::health::ModeControllerConfig> controller;
   rt::sim::SimConfig sim;
+  /// Monte-Carlo replication count (--replications / $.sim.replications):
+  /// 1 runs the serial engine exactly as before; K > 1 runs the batched
+  /// engine and adds a cross-replication "aggregate" object to the report.
+  std::size_t replications = 1;
 };
 
 int run_scenario(ScenarioRun run, std::ostream& os, rt::obs::Sink* sink,
@@ -181,32 +185,57 @@ int run_scenario(ScenarioRun run, std::ostream& os, rt::obs::Sink* sink,
     controller.emplace(*run.controller);
     run.sim.controller = &*controller;
   }
-  if (trace != nullptr) run.sim.trace_capacity = kTraceCapacity;
-  const sim::SimResult res = sim::simulate(run.tasks, odm.decisions, *run.server,
-                                           run.sim, run.profile);
 
-  if (trace != nullptr) {
-    std::vector<std::string> names;
-    names.reserve(run.tasks.size());
-    for (const auto& t : run.tasks) names.push_back(t.name);
-    sim::append_chrome_trace(*trace, res.trace, names, pid);
+  sim::SimMetrics metrics;
+  std::optional<sim::BatchMetrics> aggregate;
+  std::uint64_t exit_misses = 0;
+  if (run.replications > 1) {
+    if (trace != nullptr) {
+      throw std::runtime_error(
+          "trace output records a single serial run; not available with "
+          "replications > 1");
+    }
+    sim::BatchSimEngine engine;
+    sim::BatchResult bres =
+        engine.run(run.tasks, odm.decisions, *run.server, run.sim,
+                   run.replications, run.profile);
+    for (const sim::SimMetrics& m : bres.per_replication) {
+      exit_misses += m.total_deadline_misses();
+    }
+    metrics = std::move(bres.per_replication.front());
+    aggregate = std::move(bres.aggregate);
+  } else {
+    if (trace != nullptr) run.sim.trace_capacity = kTraceCapacity;
+    const sim::SimResult res = sim::simulate(run.tasks, odm.decisions,
+                                             *run.server, run.sim, run.profile);
+    metrics = res.metrics;
+    exit_misses = metrics.total_deadline_misses();
+    if (trace != nullptr) {
+      std::vector<std::string> names;
+      names.reserve(run.tasks.size());
+      for (const auto& t : run.tasks) names.push_back(t.name);
+      sim::append_chrome_trace(*trace, res.trace, names, pid);
+    }
   }
 
   Json::Object sim_obj;
-  sim_obj["released"] = static_cast<std::int64_t>(res.metrics.total_released());
-  sim_obj["completed"] = static_cast<std::int64_t>(res.metrics.total_completed());
+  sim_obj["released"] = static_cast<std::int64_t>(metrics.total_released());
+  sim_obj["completed"] = static_cast<std::int64_t>(metrics.total_completed());
   sim_obj["deadline_misses"] =
-      static_cast<std::int64_t>(res.metrics.total_deadline_misses());
+      static_cast<std::int64_t>(metrics.total_deadline_misses());
   sim_obj["timely_results"] =
-      static_cast<std::int64_t>(res.metrics.total_timely_results());
+      static_cast<std::int64_t>(metrics.total_timely_results());
   sim_obj["compensations"] =
-      static_cast<std::int64_t>(res.metrics.total_compensations());
-  sim_obj["total_benefit"] = res.metrics.total_benefit();
-  sim_obj["cpu_utilization"] = res.metrics.cpu_utilization();
-  sim_obj["trace_truncated"] = res.metrics.trace_truncated;
+      static_cast<std::int64_t>(metrics.total_compensations());
+  sim_obj["total_benefit"] = metrics.total_benefit();
+  sim_obj["cpu_utilization"] = metrics.cpu_utilization();
+  sim_obj["trace_truncated"] = metrics.trace_truncated;
+  if (aggregate.has_value()) {
+    sim_obj["replications"] = static_cast<std::int64_t>(run.replications);
+  }
   Json::Array per_task;
   for (std::size_t i = 0; i < run.tasks.size(); ++i) {
-    const auto& m = res.metrics.per_task[i];
+    const auto& m = metrics.per_task[i];
     Json::Object t;
     t["task"] = run.tasks[i].name;
     t["released"] = static_cast<std::int64_t>(m.released);
@@ -218,16 +247,19 @@ int run_scenario(ScenarioRun run, std::ostream& os, rt::obs::Sink* sink,
   }
   sim_obj["per_task"] = Json(std::move(per_task));
   report["simulation"] = Json(std::move(sim_obj));
+  if (aggregate.has_value()) {
+    report["aggregate"] = aggregate->to_json();
+  }
   if (run.controller != nullptr) {
     Json::Object adaptive;
-    adaptive["mode_changes"] = static_cast<std::int64_t>(res.metrics.mode_changes);
+    adaptive["mode_changes"] = static_cast<std::int64_t>(metrics.mode_changes);
     adaptive["time_in_degraded_ms"] =
-        static_cast<double>(res.metrics.time_in_degraded_ns) / 1e6;
+        static_cast<double>(metrics.time_in_degraded_ns) / 1e6;
     report["adaptive"] = Json(std::move(adaptive));
   }
 
   os << Json(std::move(report)).dump(2) << "\n";
-  return res.metrics.total_deadline_misses() == 0 ? 0 : 2;
+  return exit_misses == 0 ? 0 : 2;
 }
 
 /// Legacy task-set file -> ScenarioRun. Solver and scenario strings resolve
@@ -280,13 +312,16 @@ ScenarioRun scenario_from_doc(const rt::spec::ScenarioDoc& doc) {
   run.server = std::move(built.server);
   run.controller = std::move(built.controller);
   run.sim = built.sim;
+  run.replications = built.replications;
   return run;
 }
 
 int run(const std::string& text, std::ostream& os, rt::obs::Sink* sink,
         rt::obs::ChromeTraceWriter* trace, int pid,
-        const RobustnessOptions& robust) {
-  return run_scenario(scenario_from_taskset(text, robust), os, sink, trace, pid);
+        const RobustnessOptions& robust, std::size_t replications) {
+  ScenarioRun scenario = scenario_from_taskset(text, robust);
+  scenario.replications = replications;
+  return run_scenario(std::move(scenario), os, sink, trace, pid);
 }
 
 // Analyze every file on `jobs` workers; reports print in argument order.
@@ -294,7 +329,7 @@ int run(const std::string& text, std::ostream& os, rt::obs::Sink* sink,
 // in that same order, so the outputs are identical for every jobs value.
 int run_files(const std::vector<std::string>& files, unsigned jobs,
               const std::string& metrics_out, const std::string& trace_out,
-              const RobustnessOptions& robust) {
+              const RobustnessOptions& robust, std::size_t replications) {
   const bool want_metrics = !metrics_out.empty();
   const bool want_trace = !trace_out.empty();
   struct FileResult {
@@ -323,7 +358,7 @@ int run_files(const std::vector<std::string>& files, unsigned jobs,
         buf << in.rdbuf();
         std::ostringstream report;
         r.code = run(buf.str(), report, r.sink.get(), r.trace.get(),
-                     static_cast<int>(i), robust);
+                     static_cast<int>(i), robust, replications);
         r.output = report.str();
       } catch (const std::exception& e) {
         r.error = std::string("error: ") + e.what() + " (in '" + files[i] + "')";
@@ -352,7 +387,8 @@ int run_files(const std::vector<std::string>& files, unsigned jobs,
 // A spec document: a single scenario prints the standard report; a sweep
 // grid runs through exp::BatchRunner and prints a summary row per cell.
 int run_spec(const std::string& path, std::optional<unsigned> jobs_override,
-             const std::string& metrics_out, const std::string& trace_out) {
+             const std::string& metrics_out, const std::string& trace_out,
+             std::optional<std::size_t> replications_override) {
   using namespace rt;
   const spec::ScenarioDoc doc = spec::ScenarioDoc::parse_text(slurp(path));
 
@@ -364,7 +400,11 @@ int run_spec(const std::string& path, std::optional<unsigned> jobs_override,
   if (!has_grid) {
     obs::Sink sink;
     obs::ChromeTraceWriter trace;
-    const int code = run_scenario(scenario_from_doc(doc), std::cout,
+    ScenarioRun scenario = scenario_from_doc(doc);
+    if (replications_override.has_value()) {
+      scenario.replications = *replications_override;
+    }
+    const int code = run_scenario(std::move(scenario), std::cout,
                                   want_metrics ? &sink : nullptr,
                                   want_trace ? &trace : nullptr, 0);
     if (want_metrics) write_metrics_file(sink, metrics_out);
@@ -374,6 +414,11 @@ int run_spec(const std::string& path, std::optional<unsigned> jobs_override,
 
   spec::BatchPlan plan = spec::plan_batch(doc);
   if (jobs_override.has_value()) plan.batch.jobs = *jobs_override;
+  if (replications_override.has_value()) {
+    for (exp::ScenarioSpec& spec : plan.specs) {
+      spec.replications = *replications_override;
+    }
+  }
   exp::BatchRunner runner(plan.batch);
   obs::Sink sink;
   const std::vector<exp::ScenarioOutcome> outcomes =
@@ -473,6 +518,7 @@ int run_fig3(unsigned jobs, double horizon_ms, const std::string& metrics_out,
 int main(int argc, char** argv) {
   try {
     std::optional<unsigned> jobs_flag;
+    std::optional<std::size_t> replications_flag;
     bool fig3 = false;
     double horizon_ms = 20'000.0;
     std::string metrics_out;
@@ -497,7 +543,7 @@ int main(int argc, char** argv) {
         std::cout << "usage: rtoffload_cli [--jobs N] [--metrics-out PATH] "
                      "[--trace-out PATH]\n"
                      "                     [--faults script.json] "
-                     "[--adaptive]\n"
+                     "[--adaptive] [--replications N]\n"
                      "                     [taskset.json ...] | --spec "
                      "spec.json | --validate spec.json\n"
                      "                     | --list-types | --fig3 "
@@ -522,7 +568,12 @@ int main(int argc, char** argv) {
                      "example in examples/) on the\nserver scenario; "
                      "--adaptive enables the degraded-mode health "
                      "controller and adds\nits mode-change stats to the "
-                     "report.\n";
+                     "report.\n--replications N runs N Monte-Carlo "
+                     "replications per scenario through the\nbatched engine "
+                     "(seeds derived per replication) and adds a "
+                     "cross-replication\n\"aggregate\" object to the report "
+                     "(overrides a spec document's "
+                     "sim.replications).\n";
         return 0;
       }
       if (arg == "--fig3") {
@@ -564,6 +615,21 @@ int main(int argc, char** argv) {
         trace_out = need_value(i, arg);
         continue;
       }
+      if (arg == "--replications") {
+        long v = 0;
+        try {
+          v = std::stol(need_value(i, arg));
+        } catch (const std::exception&) {
+          std::cerr << "error: --replications expects a number\n";
+          return 1;
+        }
+        if (v < 1) {
+          std::cerr << "error: --replications must be >= 1\n";
+          return 1;
+        }
+        replications_flag = static_cast<std::size_t>(v);
+        continue;
+      }
       if (arg == "--horizon-ms") {
         horizon_ms = std::stod(need_value(i, arg));
         if (!(horizon_ms > 0.0)) {
@@ -590,6 +656,11 @@ int main(int argc, char** argv) {
       files.push_back(arg);
     }
     const unsigned jobs = jobs_flag.value_or(1);
+    if (replications_flag.value_or(1) > 1 && !trace_out.empty()) {
+      std::cerr << "error: --trace-out records a single serial run; it "
+                   "cannot be combined with --replications N > 1\n";
+      return 1;
+    }
     if (!validate_path.empty()) {
       if (fig3 || !spec_path.empty() || !files.empty()) {
         std::cerr << "error: --validate takes exactly one spec document\n";
@@ -608,7 +679,8 @@ int main(int argc, char** argv) {
                      "sections\n";
         return 1;
       }
-      return run_spec(spec_path, jobs_flag, metrics_out, trace_out);
+      return run_spec(spec_path, jobs_flag, metrics_out, trace_out,
+                      replications_flag);
     }
     if (fig3) {
       if (!files.empty()) {
@@ -618,6 +690,11 @@ int main(int argc, char** argv) {
       if (robust.faults.has_value() || robust.adaptive) {
         std::cerr << "error: --faults/--adaptive apply to task-set inputs, "
                      "not --fig3\n";
+        return 1;
+      }
+      if (replications_flag.has_value()) {
+        std::cerr << "error: --replications does not apply to --fig3 (the "
+                     "sweep replicates across its seed axis)\n";
         return 1;
       }
       return run_fig3(jobs, horizon_ms, metrics_out, trace_out);
@@ -630,12 +707,14 @@ int main(int argc, char** argv) {
       const bool want_trace = !trace_out.empty();
       const int code = run(kSampleFile, std::cout,
                            want_metrics ? &sink : nullptr,
-                           want_trace ? &trace : nullptr, 0, robust);
+                           want_trace ? &trace : nullptr, 0, robust,
+                           replications_flag.value_or(1));
       if (want_metrics) write_metrics_file(sink, metrics_out);
       if (want_trace) write_trace_file(trace, trace_out);
       return code;
     }
-    return run_files(files, jobs, metrics_out, trace_out, robust);
+    return run_files(files, jobs, metrics_out, trace_out, robust,
+                     replications_flag.value_or(1));
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
