@@ -1,0 +1,19 @@
+#include "net/clock.hpp"
+
+#include <ctime>
+
+namespace rt::net {
+
+TimePoint SystemClock::now() const {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return TimePoint(static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 +
+                   ts.tv_nsec);
+}
+
+SystemClock& SystemClock::instance() {
+  static SystemClock clock;
+  return clock;
+}
+
+}  // namespace rt::net

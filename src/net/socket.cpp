@@ -1,0 +1,174 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "net/event_loop.hpp"
+
+namespace rt::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in to_sockaddr(const SocketAddress& address) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(address.port);
+  if (::inet_pton(AF_INET, address.host.c_str(), &sa.sin_addr) != 1) {
+    throw std::invalid_argument("bad IPv4 address '" + address.host + "'");
+  }
+  return sa;
+}
+
+SocketAddress from_sockaddr(const sockaddr_in& sa) {
+  char buf[INET_ADDRSTRLEN] = {};
+  ::inet_ntop(AF_INET, &sa.sin_addr, buf, sizeof(buf));
+  return SocketAddress{buf, ntohs(sa.sin_port)};
+}
+
+}  // namespace
+
+SocketAddress SocketAddress::parse(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == text.size()) {
+    throw std::invalid_argument("address must be 'host:port': '" + text + "'");
+  }
+  SocketAddress address;
+  address.host = text.substr(0, colon);
+  const std::string port_text = text.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+    throw std::invalid_argument("bad port in address '" + text + "'");
+  }
+  address.port = static_cast<std::uint16_t>(port);
+  // Validate the host eagerly so errors point at the flag, not the
+  // connect call.
+  (void)to_sockaddr(address);
+  return address;
+}
+
+std::string SocketAddress::to_string() const {
+  return host + ":" + std::to_string(port);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+int tcp_connect(const SocketAddress& address, Duration timeout) {
+  const sockaddr_in sa = to_sockaddr(address);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  try {
+    set_nonblocking(fd);
+    int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+    if (rc != 0 && errno != EINPROGRESS) {
+      throw_errno("connect " + address.to_string());
+    }
+    if (rc != 0) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int timeout_ms = static_cast<int>((timeout.ns() + 999'999) / 1'000'000);
+      rc = ::poll(&pfd, 1, timeout_ms);
+      if (rc == 0) {
+        throw std::runtime_error("connect " + address.to_string() +
+                                 ": timed out");
+      }
+      if (rc < 0) throw_errno("poll");
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        errno = err;
+        throw_errno("connect " + address.to_string());
+      }
+    }
+    set_nodelay(fd);
+    return fd;
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
+Acceptor::Acceptor(EventLoop& loop, const SocketAddress& listen_address)
+    : loop_(loop) {
+  const sockaddr_in sa = to_sockaddr(listen_address);
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+  try {
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+      throw_errno("bind " + listen_address.to_string());
+    }
+    if (::listen(fd_, SOMAXCONN) != 0) throw_errno("listen");
+    set_nonblocking(fd_);
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      throw_errno("getsockname");
+    }
+    local_ = from_sockaddr(bound);
+    loop_.watch(fd_, /*read=*/true, /*write=*/false,
+                [this](bool readable, bool) {
+                  if (readable) on_readable();
+                });
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+Acceptor::~Acceptor() { close(); }
+
+void Acceptor::close() {
+  if (fd_ < 0) return;
+  loop_.unwatch(fd_);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void Acceptor::on_readable() {
+  for (;;) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    const int client = ::accept4(fd_, reinterpret_cast<sockaddr*>(&peer), &len,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (client < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // transient accept failure; keep listening
+    }
+    set_nodelay(client);
+    if (handler_) {
+      handler_(client, from_sockaddr(peer));
+    } else {
+      ::close(client);
+    }
+  }
+}
+
+}  // namespace rt::net

@@ -1,0 +1,67 @@
+#pragma once
+// Thin IPv4 socket helpers shared by the Acceptor, the client connect
+// path, and the daemon. Loopback-oriented: the runtime targets a local
+// gpu_serverd, so there is no resolver -- addresses are dotted quads.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace rt::net {
+
+class EventLoop;
+
+/// "host:port" with a dotted-quad IPv4 host; port 0 asks the kernel for
+/// an ephemeral port (the Acceptor reports the bound one).
+struct SocketAddress {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  /// Parses "a.b.c.d:port"; throws std::invalid_argument on malformed
+  /// input.
+  static SocketAddress parse(const std::string& text);
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Sets O_NONBLOCK; throws on failure.
+void set_nonblocking(int fd);
+/// Disables Nagle -- the RPC frames are small and latency-bound.
+void set_nodelay(int fd);
+
+/// Blocking connect with a timeout (poll on the connecting socket), used
+/// during runtime setup before the loop starts. Returns a connected
+/// nonblocking fd; throws std::runtime_error on refusal or timeout.
+int tcp_connect(const SocketAddress& address, Duration timeout);
+
+/// Nonblocking listening socket registered with the loop; hands accepted
+/// (already nonblocking) fds to the handler.
+class Acceptor {
+ public:
+  using AcceptHandler = std::function<void(int fd, const SocketAddress& peer)>;
+
+  /// Binds and listens immediately (SO_REUSEADDR); throws on failure.
+  Acceptor(EventLoop& loop, const SocketAddress& listen_address);
+  ~Acceptor();
+
+  Acceptor(const Acceptor&) = delete;
+  Acceptor& operator=(const Acceptor&) = delete;
+
+  void set_accept_handler(AcceptHandler handler) {
+    handler_ = std::move(handler);
+  }
+  /// The bound address with the kernel-resolved port.
+  [[nodiscard]] const SocketAddress& local_address() const { return local_; }
+  void close();
+
+ private:
+  void on_readable();
+
+  EventLoop& loop_;
+  int fd_ = -1;
+  SocketAddress local_;
+  AcceptHandler handler_;
+};
+
+}  // namespace rt::net

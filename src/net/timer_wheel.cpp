@@ -1,0 +1,199 @@
+#include "net/timer_wheel.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/sink.hpp"
+
+namespace rt::net {
+
+namespace {
+/// Ticks spanned by the whole hierarchy; deadlines farther out clamp to
+/// the top level's farthest slot and re-cascade when reached.
+constexpr std::uint64_t kMaxSpanTicks =
+    std::uint64_t{1} << (TimerWheel::kSlotBits * TimerWheel::kLevels);
+}  // namespace
+
+TimerWheel::TimerWheel(TimePoint start, Duration tick, obs::Sink* sink)
+    : tick_(tick), start_ns_(start.ns()), now_(start) {
+  if (!tick.is_positive()) {
+    throw std::invalid_argument("TimerWheel: tick must be positive");
+  }
+  if (sink != nullptr) {
+    obs::MetricRegistry& reg = sink->registry();
+    scheduled_ = &reg.counter("net.wheel.scheduled");
+    fired_ = &reg.counter("net.wheel.fired");
+    cancelled_ = &reg.counter("net.wheel.cancelled");
+    cascaded_ = &reg.counter("net.wheel.cascades");
+  }
+}
+
+TimerId TimerWheel::schedule(TimePoint deadline, std::function<void()> callback) {
+  if (!callback) throw std::invalid_argument("TimerWheel: null callback");
+  auto entry = std::make_unique<Entry>();
+  entry->id = next_id_++;
+  entry->deadline_ns = deadline.ns();
+  entry->callback = std::move(callback);
+  entry->gen = advance_seq_;
+  Entry* raw = entry.get();
+  insert(std::move(entry));
+  live_.emplace(raw->id, raw);
+  obs::inc(scheduled_);
+  return raw->id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  Entry* entry = it->second;
+  entry->cancelled = true;
+  // Drop captures now rather than when the husk is swept out of its slot:
+  // callers (Connection teardown) rely on cancel() severing any reference
+  // the closure holds.
+  entry->callback = nullptr;
+  live_.erase(it);
+  obs::inc(cancelled_);
+  return true;
+}
+
+void TimerWheel::insert(std::unique_ptr<Entry> entry) {
+  const std::uint64_t t = tick_of(entry->deadline_ns);
+  if (t <= current_tick_) {
+    due_.push_back(std::move(entry));
+    return;
+  }
+  std::uint64_t target = t;
+  std::uint64_t delta = t - current_tick_;
+  if (delta >= kMaxSpanTicks) {
+    target = current_tick_ + kMaxSpanTicks - 1;
+    delta = kMaxSpanTicks - 1;
+  }
+  std::size_t level = 0;
+  while (delta >= (std::uint64_t{1} << (kSlotBits * (level + 1)))) ++level;
+  const std::size_t slot =
+      static_cast<std::size_t>(target >> (kSlotBits * level)) & (kSlots - 1);
+  wheel_[level][slot].push_back(std::move(entry));
+  ++level_count_[level];
+}
+
+void TimerWheel::run_cascades() {
+  for (std::size_t level = kLevels - 1; level >= 1; --level) {
+    const std::uint64_t span = std::uint64_t{1} << (kSlotBits * level);
+    if (current_tick_ % span != 0) continue;
+    const std::size_t slot =
+        static_cast<std::size_t>(current_tick_ >> (kSlotBits * level)) &
+        (kSlots - 1);
+    Slot moved;
+    moved.swap(wheel_[level][slot]);
+    level_count_[level] -= moved.size();
+    for (auto& entry : moved) {
+      if (entry->cancelled) continue;  // husk; sweep instead of re-filing
+      obs::inc(cascaded_);
+      insert(std::move(entry));
+    }
+  }
+}
+
+std::size_t TimerWheel::fire_due(std::int64_t now_ns) {
+  if (due_.empty()) return 0;
+  std::size_t fired = 0;
+  Slot processing;
+  processing.swap(due_);
+  Slot keep;
+  for (auto& entry : processing) {
+    if (entry->cancelled) continue;
+    if (entry->deadline_ns <= now_ns && entry->gen < advance_seq_) {
+      live_.erase(entry->id);
+      auto callback = std::move(entry->callback);
+      ++fired;
+      obs::inc(fired_);
+      callback();
+    } else {
+      keep.push_back(std::move(entry));
+    }
+  }
+  // Callbacks may have scheduled past-deadline entries into due_; keep
+  // them behind the survivors so arrival order is preserved.
+  if (!keep.empty()) {
+    keep.insert(keep.end(), std::make_move_iterator(due_.begin()),
+                std::make_move_iterator(due_.end()));
+    due_ = std::move(keep);
+  }
+  return fired;
+}
+
+std::size_t TimerWheel::advance(TimePoint now) {
+  if (in_advance_) {
+    throw std::logic_error("TimerWheel: advance() from a timer callback");
+  }
+  in_advance_ = true;
+  ++advance_seq_;
+  if (now > now_) now_ = now;
+  const std::int64_t now_ns = now_.ns();
+  std::size_t fired = fire_due(now_ns);
+  const std::uint64_t target = tick_of(now_ns);
+  while (current_tick_ < target) {
+    if (live_.empty()) {
+      // Only cancelled husks (if anything) remain; sweep and jump.
+      for (auto& level : wheel_) {
+        for (Slot& slot : level) slot.clear();
+      }
+      for (std::size_t& c : level_count_) c = 0;
+      due_.clear();
+      current_tick_ = target;
+      break;
+    }
+    if (level_count_[0] == 0) {
+      // Nothing can fire before the next level-0 wrap: jump straight to
+      // it (or to the target), cascading at the boundary. This keeps
+      // large fake-clock jumps O(boundaries), not O(ticks).
+      const std::uint64_t next_wrap = (current_tick_ | (kSlots - 1)) + 1;
+      current_tick_ = std::min(target, next_wrap);
+      if (current_tick_ % kSlots == 0) run_cascades();
+      continue;
+    }
+    ++current_tick_;
+    if (current_tick_ % kSlots == 0) run_cascades();
+    Slot& slot = wheel_[0][current_tick_ & (kSlots - 1)];
+    if (!slot.empty()) {
+      level_count_[0] -= slot.size();
+      for (auto& entry : slot) due_.push_back(std::move(entry));
+      slot.clear();
+      fired += fire_due(now_ns);
+    }
+  }
+  fired += fire_due(now_ns);
+  in_advance_ = false;
+  return fired;
+}
+
+TimePoint TimerWheel::next_deadline() const {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (const auto& entry : due_) {
+    if (!entry->cancelled) best = std::min(best, entry->deadline_ns);
+  }
+  for (std::size_t level = 0; level < kLevels; ++level) {
+    if (level_count_[level] == 0) continue;
+    const std::uint64_t cursor = current_tick_ >> (kSlotBits * level);
+    // Scan ahead of the cursor; offset 0 is visited last because at
+    // levels >= 1 it can only hold full-revolution (farthest) entries,
+    // and at level 0 the cursor slot is always empty (swept on pass).
+    bool found = false;
+    for (std::size_t step = 1; step <= kSlots && !found; ++step) {
+      const std::size_t offset = step % kSlots;
+      if (level == 0 && offset == 0) continue;
+      const std::size_t slot =
+          static_cast<std::size_t>(cursor + offset) & (kSlots - 1);
+      for (const auto& entry : wheel_[level][slot]) {
+        if (entry->cancelled) continue;
+        best = std::min(best, entry->deadline_ns);
+        found = true;
+      }
+    }
+  }
+  return best == std::numeric_limits<std::int64_t>::max() ? TimePoint::max()
+                                                          : TimePoint(best);
+}
+
+}  // namespace rt::net

@@ -1,0 +1,118 @@
+#pragma once
+// Hierarchical timer wheel (Varghese & Lauck) at ~100 µs resolution.
+//
+// Four levels of 256 slots each cover deadlines out to tick * 256^4
+// (~136 years of 100 µs ticks); farther deadlines clamp into the top
+// level and re-cascade. The wheel itself is passive -- advance(now) is
+// called by the owning EventLoop, so the same code runs under the real
+// clock and under a FakeClock in tests.
+//
+// Firing contract:
+//  * a callback never runs before its deadline (entries whose slot is
+//    reached sub-tick early park in a due list and fire on the advance
+//    that actually passes the deadline);
+//  * a callback never runs inside schedule() or cancel(), only inside
+//    advance();
+//  * callbacks scheduled by a firing callback are never fired by the
+//    same advance() call, so zero-delay re-arming cannot livelock;
+//  * cancel() returns false once the entry has fired (or was never
+//    known), true when it removed a pending entry.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace rt::obs {
+class Counter;
+class Sink;
+}  // namespace rt::obs
+
+namespace rt::net {
+
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+class TimerWheel {
+ public:
+  static constexpr std::size_t kLevels = 4;
+  static constexpr std::size_t kSlotBits = 8;
+  static constexpr std::size_t kSlots = std::size_t{1} << kSlotBits;
+
+  explicit TimerWheel(TimePoint start,
+                      Duration tick = Duration::microseconds(100),
+                      obs::Sink* sink = nullptr);
+
+  /// Arms a one-shot timer; past (or present) deadlines fire on the next
+  /// advance(). Returns a handle for cancel().
+  TimerId schedule(TimePoint deadline, std::function<void()> callback);
+  TimerId schedule_after(Duration delay, std::function<void()> callback) {
+    return schedule(now_ + delay, std::move(callback));
+  }
+
+  /// True iff a pending entry was removed; false after it fired.
+  bool cancel(TimerId id);
+
+  /// Advances wheel time to `now` (monotone; earlier values are ignored)
+  /// and fires every due entry. Returns the number fired.
+  std::size_t advance(TimePoint now);
+
+  /// Earliest pending deadline, TimePoint::max() when idle. Exact: per
+  /// level, the first occupied slot ahead of the cursor holds that
+  /// level's minimum.
+  [[nodiscard]] TimePoint next_deadline() const;
+
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  [[nodiscard]] Duration tick() const { return tick_; }
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+ private:
+  struct Entry {
+    TimerId id = kInvalidTimer;
+    std::int64_t deadline_ns = 0;
+    std::function<void()> callback;
+    /// advance() sequence number at schedule() time; entries born inside
+    /// the current advance() wait for the next one (no re-arm livelock).
+    std::uint64_t gen = 0;
+    bool cancelled = false;
+  };
+  using Slot = std::vector<std::unique_ptr<Entry>>;
+
+  [[nodiscard]] std::uint64_t tick_of(std::int64_t ns) const {
+    const std::int64_t rel = ns - start_ns_;
+    return rel <= 0 ? 0 : static_cast<std::uint64_t>(rel) /
+                              static_cast<std::uint64_t>(tick_.ns());
+  }
+  void insert(std::unique_ptr<Entry> entry);
+  /// Re-distributes higher-level slots whose epoch just began; highest
+  /// level first so entries trickle down one call.
+  void run_cascades();
+  std::size_t fire_due(std::int64_t now_ns);
+
+  Duration tick_;
+  std::int64_t start_ns_;
+  TimePoint now_;
+  std::uint64_t current_tick_ = 0;
+  std::uint64_t advance_seq_ = 0;
+  bool in_advance_ = false;
+  TimerId next_id_ = 1;
+
+  Slot wheel_[kLevels][kSlots];
+  std::size_t level_count_[kLevels] = {};
+  /// Entries whose slot has been reached; fired once now >= deadline.
+  Slot due_;
+  std::unordered_map<TimerId, Entry*> live_;
+
+  obs::Counter* scheduled_ = nullptr;
+  obs::Counter* fired_ = nullptr;
+  obs::Counter* cancelled_ = nullptr;
+  obs::Counter* cascaded_ = nullptr;
+};
+
+}  // namespace rt::net

@@ -1,0 +1,61 @@
+#include "runtime/serve.hpp"
+
+#include <csignal>
+#include <ostream>
+
+#include "runtime/gpu_service.hpp"
+#include "util/rng.hpp"
+
+namespace rt::runtime {
+
+namespace {
+
+// Signal bridge: request_stop() is async-signal-safe by contract (one
+// atomic store plus one write() on the wakeup eventfd).
+net::EventLoop* g_serving_loop = nullptr;
+
+void on_signal(int) {
+  if (g_serving_loop != nullptr) g_serving_loop->request_stop();
+}
+
+}  // namespace
+
+int serve_gpu(const spec::ScenarioDoc& doc,
+              const net::SocketAddress* listen_override, std::ostream& out) {
+  spec::BuiltScenario built = spec::build_scenario(doc);
+  if (built.server == nullptr) {
+    out << "error: --serve-gpu requires a document with a server section\n";
+    return 1;
+  }
+
+  GpuServiceOptions options;
+  options.apply_spec_section(doc.runtime);
+  const net::SocketAddress listen = listen_override != nullptr
+                                        ? *listen_override
+                                        : listen_address_from_spec(doc.runtime);
+
+  net::EventLoop loop;
+  GpuService service(loop, std::move(built.server),
+                     derive_seed(built.sim.seed, 0x6775), listen, options);
+  out << "listening on " << service.address().to_string() << "\n";
+  out.flush();
+
+  g_serving_loop = &loop;
+  struct sigaction action {};
+  action.sa_handler = on_signal;
+  sigemptyset(&action.sa_mask);
+  struct sigaction old_int {}, old_term {};
+  sigaction(SIGINT, &action, &old_int);
+  sigaction(SIGTERM, &action, &old_term);
+
+  loop.run();
+
+  sigaction(SIGINT, &old_int, nullptr);
+  sigaction(SIGTERM, &old_term, nullptr);
+  g_serving_loop = nullptr;
+
+  out << service.stats().to_json().dump() << "\n";
+  return 0;
+}
+
+}  // namespace rt::runtime

@@ -1,0 +1,22 @@
+#pragma once
+// Shared gpu_serverd entry point: tools/gpu_serverd.cpp and the CLI's
+// --serve-gpu flag both run a scenario document's server stack behind a
+// TCP listener through this helper.
+
+#include <iosfwd>
+
+#include "net/socket.hpp"
+#include "spec/scenario_doc.hpp"
+
+namespace rt::runtime {
+
+/// Serves `doc`'s composed server stack (with the fault overlay applied)
+/// until SIGINT/SIGTERM. Prints "listening on IP:PORT" to `out` once the
+/// socket is bound -- harnesses scrape that line for the ephemeral port --
+/// and a stats JSON object on shutdown. `listen_override` (non-null)
+/// replaces $.runtime.listen. Returns the process exit code; a document
+/// without a server section is an error (printed to `out`, exit 1).
+int serve_gpu(const spec::ScenarioDoc& doc,
+              const net::SocketAddress* listen_override, std::ostream& out);
+
+}  // namespace rt::runtime

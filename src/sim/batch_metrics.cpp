@@ -9,13 +9,31 @@ double MetricStat::ci95_half() const {
   return 1.96 * stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
 }
 
+namespace {
+
+/// NaN/inf never reach the document: Json::dump prints doubles with %g,
+/// so a non-finite value would render invalid JSON ("nan"). Skipping the
+/// key is the documented contract (docs/SCENARIOS.md): absent means
+/// "not defined for this sample count", present means finite.
+void set_if_finite(Json::Object& o, const char* key, double v) {
+  if (std::isfinite(v)) o[key] = v;
+}
+
+}  // namespace
+
 Json MetricStat::to_json() const {
   Json::Object o;
-  o["mean"] = stats.mean();
-  o["stddev"] = stats.stddev();
-  o["min"] = stats.min();
-  o["max"] = stats.max();
-  o["ci95_half"] = ci95_half();
+  o["count"] = static_cast<std::int64_t>(stats.count());
+  set_if_finite(o, "mean", stats.mean());
+  set_if_finite(o, "min", stats.min());
+  set_if_finite(o, "max", stats.max());
+  // Spread estimates need n >= 2; with a single replication they are
+  // undefined (not zero), so the keys are omitted rather than printed
+  // as a misleading 0 or a JSON-breaking NaN.
+  if (stats.count() >= 2) {
+    set_if_finite(o, "stddev", stats.stddev());
+    set_if_finite(o, "ci95_half", ci95_half());
+  }
   return Json(std::move(o));
 }
 

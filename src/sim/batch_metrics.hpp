@@ -24,6 +24,9 @@ struct MetricStat {
   [[nodiscard]] double stddev() const { return stats.stddev(); }
   /// 1.96 * s / sqrt(n); 0 with fewer than two replications.
   [[nodiscard]] double ci95_half() const;
+  /// {"count", "mean", "min", "max"[, "stddev", "ci95_half"]}. Spread keys
+  /// appear only with >= 2 replications; non-finite values are omitted so
+  /// the document always parses.
   [[nodiscard]] Json to_json() const;
 };
 

@@ -183,11 +183,45 @@ sim::SimConfig build_sim_config(const Json& normalized) {
   return cfg;
 }
 
+// Schema v1.2: the optional $.runtime section configures the real
+// OffloadRuntime / gpu_serverd pair (docs/RUNTIME.md). Normalization
+// materializes every default; the address format is checked lightly here
+// (host:port shape) and strictly by src/net/'s parser, keeping this layer
+// free of a net/ dependency.
+Json normalize_runtime(const Json& obj, const SpecPath& path) {
+  check_keys(obj, path,
+             {"listen", "time_scale", "max_frame_bytes", "connect_timeout_ms",
+              "payload_padding"});
+  Json::Object out;
+  const std::string listen = string_or(obj, path, "listen", "127.0.0.1:0");
+  const std::size_t colon = listen.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == listen.size()) {
+    throw SpecError(path / "listen",
+                    "must be 'host:port' (got '" + listen + "')");
+  }
+  out["listen"] = listen;
+  // Wall seconds per protocol second: < 1 compresses the experiment so
+  // e2e suites stay fast, > 1 dilates it when jitter must shrink relative
+  // to the protocol's margins.
+  out["time_scale"] = number_above(obj, path, "time_scale", 1.0, 0.0);
+  const auto max_frame =
+      integer_or(obj, path, "max_frame_bytes", std::uint64_t{1} << 20);
+  if (max_frame < 4096 || max_frame > (std::uint64_t{64} << 20)) {
+    throw SpecError(path / "max_frame_bytes",
+                    "must be in [4096, 67108864]");
+  }
+  out["max_frame_bytes"] = static_cast<double>(max_frame);
+  out["connect_timeout_ms"] =
+      number_above(obj, path, "connect_timeout_ms", 5000.0, 0.0);
+  out["payload_padding"] = bool_or(obj, path, "payload_padding", true);
+  return Json(std::move(out));
+}
+
 ScenarioDoc ScenarioDoc::parse(const Json& doc) {
   const SpecPath root;
   check_keys(doc, root,
              {"version", "name", "workload", "odm", "server", "faults",
-              "controller", "sim", "sweep"});
+              "controller", "sim", "sweep", "runtime"});
   const std::uint64_t version = integer_or(doc, root, "version", 1);
   if (version != 1) {
     throw SpecError(root / "version",
@@ -223,6 +257,9 @@ ScenarioDoc ScenarioDoc::parse(const Json& doc) {
   if (has(doc, "sweep")) {
     out.sweep = normalize_sweep(doc.at("sweep"), root / "sweep");
   }
+  if (has(doc, "runtime")) {
+    out.runtime = normalize_runtime(doc.at("runtime"), root / "runtime");
+  }
   return out;
 }
 
@@ -247,6 +284,7 @@ Json ScenarioDoc::to_json() const {
   if (!controller.is_null()) out["controller"] = controller;
   out["sim"] = sim;
   if (!sweep.is_null()) out["sweep"] = sweep;
+  if (!runtime.is_null()) out["runtime"] = runtime;
   return Json(std::move(out));
 }
 
@@ -284,6 +322,7 @@ BuiltScenario build_scenario(const ScenarioDoc& doc) {
         std::make_shared<health::ModeControllerConfig>(in_section(
             "controller", [&] { return build_controller(doc.controller, ctx); }));
   }
+  out.runtime = doc.runtime;
   return out;
 }
 

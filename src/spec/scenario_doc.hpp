@@ -39,6 +39,11 @@ struct ScenarioDoc {
   Json controller;   ///< normalized controller section, or null
   Json sim;          ///< normalized sim section (always an object)
   Json sweep;        ///< normalized sweep section, or null
+  /// Normalized real-runtime section (schema v1.2), or null. Listen
+  /// address, time-scale factor, and wire-format knobs for the
+  /// OffloadRuntime / gpu_serverd pair (docs/RUNTIME.md); the spec layer
+  /// validates and normalizes, src/runtime/ interprets.
+  Json runtime;
 
   /// Strict parse + normalize; throws SpecError with the JSON path of the
   /// first violation.
@@ -67,6 +72,9 @@ struct BuiltScenario {
   /// Carried outside SimConfig because replication is an experiment-layer
   /// concept (exp::ScenarioSpec::replications / sim::BatchSimEngine).
   std::size_t replications = 1;
+  /// Normalized $.runtime section (or null); src/runtime/ parses it into
+  /// its own options so the spec layer stays free of a net/ dependency.
+  Json runtime;
 };
 
 /// Builds the runtime objects of a (sweep-free) document. Build-time
@@ -85,5 +93,6 @@ Json normalize_odm(const Json& obj, const SpecPath& path);
 core::OdmConfig build_odm_config(const Json& normalized);
 Json normalize_sim(const Json& obj, const SpecPath& path);
 sim::SimConfig build_sim_config(const Json& normalized);
+Json normalize_runtime(const Json& obj, const SpecPath& path);
 
 }  // namespace rt::spec

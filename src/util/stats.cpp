@@ -18,7 +18,10 @@ void RunningStats::add(double x) {
 
 double RunningStats::variance() const {
   if (n_ < 2) return 0.0;
-  return m2_ / static_cast<double>(n_ - 1);
+  // m2_ is non-negative in exact arithmetic, but the merge() formula can
+  // round it a hair below zero for near-constant streams; clamp so stddev
+  // never goes NaN through sqrt of a negative.
+  return std::max(0.0, m2_) / static_cast<double>(n_ - 1);
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }

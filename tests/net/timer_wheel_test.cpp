@@ -1,0 +1,236 @@
+// TimerWheel unit suite: cascade boundaries, firing-order guarantees,
+// cancel-after-fire semantics, and re-arm behaviour. The wheel is
+// passive (advance(now) is called by the owner), so the whole suite is
+// driven by synthetic TimePoints -- no clock, no sleeps.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "net/timer_wheel.hpp"
+#include "util/time.hpp"
+
+namespace rt::net {
+namespace {
+
+constexpr Duration kTick = Duration::microseconds(100);
+
+TimePoint at_us(std::int64_t us) { return TimePoint(us * 1000); }
+
+TEST(TimerWheelTest, FiresAtDeadlineNotBefore) {
+  TimerWheel wheel(TimePoint::zero(), kTick);
+  int fired = 0;
+  wheel.schedule(at_us(500), [&] { ++fired; });
+
+  EXPECT_EQ(wheel.advance(at_us(499)), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wheel.advance(at_us(500)), 1u);
+  EXPECT_EQ(fired, 1);
+  // One-shot: no re-fire on later advances.
+  EXPECT_EQ(wheel.advance(at_us(10000)), 0u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, SubTickDeadlineParksUntilPassed) {
+  TimerWheel wheel(TimePoint::zero(), kTick);
+  int fired = 0;
+  // Deadline in the middle of a tick: the slot is reached at 400 us but
+  // the callback must wait until now >= 450 us.
+  wheel.schedule(TimePoint(450'000), [&] { ++fired; });
+  EXPECT_EQ(wheel.advance(TimePoint(449'999)), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wheel.advance(TimePoint(450'000)), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, PastDeadlineFiresOnNextAdvance) {
+  TimerWheel wheel(TimePoint::zero(), kTick);
+  wheel.advance(at_us(1000));
+  int fired = 0;
+  wheel.schedule(at_us(200), [&] { ++fired; });  // already past
+  EXPECT_EQ(fired, 0);                           // never inside schedule()
+  EXPECT_EQ(wheel.advance(at_us(1000)), 1u);     // same now is enough
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, CascadeBoundaries) {
+  // Deadlines straddling each level boundary: tick*256^k +/- one tick.
+  // These land in higher-level slots at schedule() time and must still
+  // fire at (not after, not before) their exact deadline.
+  TimerWheel wheel(TimePoint::zero(), kTick);
+  const std::int64_t tick_ns = kTick.ns();
+  std::vector<std::int64_t> deadlines_ns;
+  for (std::int64_t span : {std::int64_t{256}, std::int64_t{256} * 256,
+                            std::int64_t{256} * 256 * 256}) {
+    deadlines_ns.push_back((span - 1) * tick_ns);
+    deadlines_ns.push_back(span * tick_ns);
+    deadlines_ns.push_back((span + 1) * tick_ns);
+  }
+  std::vector<std::pair<std::int64_t, std::int64_t>> fired;  // (deadline, now)
+  TimePoint now = TimePoint::zero();
+  // Track `now` by reference so callbacks can record when they ran.
+  for (std::int64_t d : deadlines_ns) {
+    wheel.schedule(TimePoint(d), [&fired, &now, d] {
+      fired.emplace_back(d, now.ns());
+    });
+  }
+  // Advance one tick at a time across the whole range (coarse stride far
+  // from boundaries to keep the test fast, fine stride near them).
+  const std::int64_t last = deadlines_ns.back() + 2 * tick_ns;
+  std::int64_t t = 0;
+  while (t <= last) {
+    const bool near_boundary = std::any_of(
+        deadlines_ns.begin(), deadlines_ns.end(), [&](std::int64_t d) {
+          return std::llabs(d - t) <= 256 * tick_ns;
+        });
+    t += near_boundary ? tick_ns : 128 * tick_ns;
+    now = TimePoint(t);
+    wheel.advance(now);
+  }
+  ASSERT_EQ(fired.size(), deadlines_ns.size());
+  for (const auto& [deadline, when] : fired) {
+    EXPECT_GE(when, deadline) << "fired early";
+    EXPECT_LE(when - deadline, 256 * tick_ns) << "fired far too late";
+  }
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, FarDeadlineClampsButKeepsExactDeadline) {
+  TimerWheel wheel(TimePoint::zero(), kTick);
+  // Beyond tick * 256^4 the slot clamps into the top level, but the
+  // entry keeps its exact deadline for next_deadline() and re-cascading.
+  const std::int64_t far_ns = kTick.ns() * (std::int64_t{1} << 34);
+  const TimerId id = wheel.schedule(TimePoint(far_ns), [] {});
+  EXPECT_EQ(wheel.pending(), 1u);
+  EXPECT_EQ(wheel.next_deadline(), TimePoint(far_ns));
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_EQ(wheel.next_deadline(), TimePoint::max());
+}
+
+TEST(TimerWheelTest, EmptyWheelJumpsLargeGapsInstantly) {
+  // With no live entries a huge advance sweeps and jumps straight to the
+  // target tick instead of walking 2^40 ticks.
+  TimerWheel wheel(TimePoint::zero(), kTick);
+  EXPECT_EQ(wheel.advance(TimePoint(kTick.ns() * (std::int64_t{1} << 40))), 0u);
+  int fired = 0;
+  wheel.schedule_after(Duration::milliseconds(1), [&] { ++fired; });
+  wheel.advance(wheel.now() + Duration::milliseconds(1));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, CancelPendingTrueThenFalse) {
+  TimerWheel wheel(TimePoint::zero(), kTick);
+  int fired = 0;
+  const TimerId id = wheel.schedule(at_us(300), [&] { ++fired; });
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_FALSE(wheel.cancel(id));  // second cancel: already gone
+  EXPECT_EQ(wheel.advance(at_us(1000)), 0u);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, CancelAfterFireReturnsFalse) {
+  TimerWheel wheel(TimePoint::zero(), kTick);
+  int fired = 0;
+  const TimerId id = wheel.schedule(at_us(300), [&] { ++fired; });
+  EXPECT_EQ(wheel.advance(at_us(300)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(wheel.cancel(id));  // the race the runtime relies on:
+                                   // "false" == the compensation ran
+}
+
+TEST(TimerWheelTest, CancelUnknownIdReturnsFalse) {
+  TimerWheel wheel(TimePoint::zero(), kTick);
+  EXPECT_FALSE(wheel.cancel(kInvalidTimer));
+  EXPECT_FALSE(wheel.cancel(TimerId{12345}));
+}
+
+TEST(TimerWheelTest, CancelSiblingFromCallback) {
+  // Two timers due on the same advance(); the first callback cancels the
+  // second. The second must not fire even though both were already due.
+  TimerWheel wheel(TimePoint::zero(), kTick);
+  int second_fired = 0;
+  TimerId second = kInvalidTimer;
+  wheel.schedule(at_us(100), [&] { wheel.cancel(second); });
+  second = wheel.schedule(at_us(200), [&] { ++second_fired; });
+  wheel.advance(at_us(1000));
+  EXPECT_EQ(second_fired, 0);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, ZeroDelayRearmDoesNotLivelock) {
+  TimerWheel wheel(TimePoint::zero(), kTick);
+  int fired = 0;
+  std::function<void()> rearm = [&] {
+    ++fired;
+    wheel.schedule(wheel.now(), rearm);  // due immediately
+  };
+  wheel.schedule(at_us(100), rearm);
+  // Each advance() fires exactly one generation; entries born inside the
+  // advance wait for the next call.
+  EXPECT_EQ(wheel.advance(at_us(100)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(wheel.advance(at_us(100)), 1u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(wheel.pending(), 1u);
+}
+
+TEST(TimerWheelTest, NextDeadlineIsExact) {
+  TimerWheel wheel(TimePoint::zero(), kTick);
+  EXPECT_EQ(wheel.next_deadline(), TimePoint::max());
+  wheel.schedule(at_us(700), [] {});
+  const TimerId early = wheel.schedule(at_us(300), [] {});
+  wheel.schedule(at_us(256 * 100 * 3), [] {});  // level-1 entry
+  EXPECT_EQ(wheel.next_deadline(), at_us(300));
+  wheel.cancel(early);
+  EXPECT_EQ(wheel.next_deadline(), at_us(700));
+  wheel.advance(at_us(700));
+  EXPECT_EQ(wheel.next_deadline(), at_us(256 * 100 * 3));
+}
+
+TEST(TimerWheelTest, FiresInDeadlineOrderAcrossOneAdvance) {
+  // A big jump fires everything due; order must be by deadline so a
+  // dependent chain (send -> compensation) resolves in protocol order.
+  TimerWheel wheel(TimePoint::zero(), kTick);
+  std::vector<int> order;
+  wheel.schedule(at_us(900), [&] { order.push_back(3); });
+  wheel.schedule(at_us(100), [&] { order.push_back(1); });
+  wheel.schedule(at_us(500), [&] { order.push_back(2); });
+  wheel.advance(at_us(1000));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimerWheelTest, MonotoneAdvanceIgnoresEarlierNow) {
+  TimerWheel wheel(TimePoint::zero(), kTick);
+  int fired = 0;
+  wheel.advance(at_us(1000));
+  wheel.schedule(at_us(1100), [&] { ++fired; });
+  EXPECT_EQ(wheel.advance(at_us(500)), 0u);  // ignored, no rewind
+  EXPECT_EQ(wheel.now(), at_us(1000));
+  EXPECT_EQ(wheel.advance(at_us(1100)), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, ManyTimersAllFireExactlyOnce) {
+  TimerWheel wheel(TimePoint::zero(), kTick);
+  constexpr int kN = 2000;
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kN; ++i) {
+    // Deadlines spread over ~3 levels with a deterministic scatter.
+    const std::int64_t us = 100 + (static_cast<std::int64_t>(i) * 7919) % 900000;
+    wheel.schedule(at_us(us), [&counts, i] { ++counts[i]; });
+  }
+  std::size_t total = 0;
+  for (std::int64_t t = 0; t <= 900100; t += 3700) {
+    total += wheel.advance(at_us(t));
+  }
+  total += wheel.advance(at_us(900200));
+  EXPECT_EQ(total, static_cast<std::size_t>(kN));
+  EXPECT_EQ(wheel.pending(), 0u);
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(counts[i], 1) << "timer " << i;
+}
+
+}  // namespace
+}  // namespace rt::net

@@ -1,0 +1,166 @@
+// OffloadRuntime protocol suite: the per-job offload protocol (setup ->
+// RPC -> compensation timer at the benefit point -> cancel on a timely
+// reply / compensate on timeout) executed for real against an in-process
+// LoopbackGpuServer, with response models chosen so each protocol path
+// is forced deterministically:
+//   * fixed 20 ms  < R = 40 ms  -> every reply timely, no compensations;
+//   * fixed 60 ms  > R = 40 ms  -> every timer fires, every reply late;
+//   * never                     -> drops: no replies, compensation only.
+// Horizons are short and time-dilated (time_scale 0.5, 1 s protocol =
+// 0.5 s wall), and deadlines carry enough slack that scheduling jitter
+// cannot flip an outcome.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/odm.hpp"
+#include "runtime/gpu_service.hpp"
+#include "runtime/offload_runtime.hpp"
+#include "spec/scenario_doc.hpp"
+#include "util/rng.hpp"
+
+namespace rt::runtime {
+namespace {
+
+/// One offloadable task (R = 40 ms, value 8 at the benefit point) plus
+/// the given server stack; 10 periodic releases in the 1 s horizon.
+std::string doc_text(const std::string& server_json,
+                     const std::string& benefit_json =
+                         "[[0, 1.0], [40, 8.0]]") {
+  return std::string(R"({
+    "version": 1,
+    "workload": {
+      "type": "inline",
+      "tasks": [
+        {
+          "name": "worker",
+          "period_ms": 100,
+          "local_wcet_ms": 30,
+          "setup_wcet_ms": 4,
+          "compensation_wcet_ms": 16,
+          "benefit": )") +
+         benefit_json + R"(
+        }
+      ]
+    },
+    "odm": {"solver": "dp-profits"},
+    "server": )" +
+         server_json + R"(,
+    "sim": {"horizon_ms": 1000, "seed": 11},
+    "runtime": {"time_scale": 0.5}
+  })";
+}
+
+struct RealRun {
+  RuntimeResult result;
+  GpuServiceStats server;
+  bool offloaded = false;
+};
+
+RealRun run_real(const std::string& text) {
+  const spec::ScenarioDoc doc = spec::ScenarioDoc::parse_text(text);
+  spec::BuiltScenario built = spec::build_scenario(doc);
+  const core::OdmResult odm = core::decide_offloading(built.tasks, built.odm);
+
+  GpuServiceOptions service_options;
+  service_options.apply_spec_section(doc.runtime);
+  LoopbackGpuServer server(built.server->clone(),
+                           derive_seed(built.sim.seed, 0x6775),
+                           service_options);
+
+  RuntimeOptions options;
+  options.apply_spec_section(doc.runtime);
+  options.server = server.address();
+
+  RealRun run;
+  run.result = run_offload_runtime(built.tasks, odm.decisions, built.sim,
+                                   built.profile, options);
+  run.server = server.stop();
+  run.offloaded = odm.decisions[0].offloaded();
+  return run;
+}
+
+TEST(RuntimeProtocolTest, TimelyRepliesCancelCompensation) {
+  const RealRun run = run_real(doc_text(R"({"type":"fixed","response_ms":20})"));
+  ASSERT_TRUE(run.offloaded);
+  const sim::TaskMetrics& t = run.result.metrics.per_task[0];
+  EXPECT_EQ(t.released, 10u);
+  EXPECT_EQ(t.offload_attempts, 10u);
+  EXPECT_EQ(t.timely_results, 10u);
+  EXPECT_EQ(t.compensations, 0u);
+  EXPECT_EQ(t.late_results, 0u);
+  EXPECT_EQ(t.deadline_misses, 0u);
+  EXPECT_EQ(t.completed, 10u);
+  // Every timely job banks the benefit-point value (10 * 8).
+  EXPECT_DOUBLE_EQ(run.result.metrics.total_benefit(), 80.0);
+  EXPECT_EQ(run.result.rpc_sent, 10u);
+  EXPECT_EQ(run.result.rpc_replies, 10u);
+  EXPECT_EQ(run.result.rpc_late_replies, 0u);
+  EXPECT_EQ(run.result.wire_errors, 0u);
+  EXPECT_TRUE(run.result.connection_error.empty());
+  EXPECT_EQ(run.server.requests, 10u);
+  EXPECT_EQ(run.server.replies, 10u);
+  EXPECT_EQ(run.server.drops, 0u);
+  // The measured response times sit near the modeled 20 ms.
+  ASSERT_EQ(t.observed_response_ms.count(), 10u);
+  EXPECT_GE(t.observed_response_ms.min(), 19.0);
+  EXPECT_LE(t.observed_response_ms.max(), 35.0);
+}
+
+TEST(RuntimeProtocolTest, SlowRepliesFireCompensationAndArriveLate) {
+  const RealRun run = run_real(doc_text(R"({"type":"fixed","response_ms":60})"));
+  ASSERT_TRUE(run.offloaded);
+  const sim::TaskMetrics& t = run.result.metrics.per_task[0];
+  EXPECT_EQ(t.offload_attempts, 10u);
+  EXPECT_EQ(t.timely_results, 0u);
+  EXPECT_EQ(t.compensations, 10u);
+  EXPECT_EQ(t.late_results, 10u);
+  EXPECT_EQ(t.deadline_misses, 0u);
+  EXPECT_EQ(t.completed, 10u);
+  // Compensated jobs bank only the local value (10 * 1).
+  EXPECT_DOUBLE_EQ(run.result.metrics.total_benefit(), 10.0);
+  EXPECT_EQ(run.result.rpc_sent, 10u);
+  EXPECT_EQ(run.result.rpc_replies, 10u);
+  EXPECT_EQ(run.result.rpc_late_replies, 10u);
+  EXPECT_EQ(run.server.replies, 10u);
+}
+
+TEST(RuntimeProtocolTest, DroppedRequestsAreSavedByCompensation) {
+  const RealRun run = run_real(doc_text(R"({"type":"never"})"));
+  ASSERT_TRUE(run.offloaded);
+  const sim::TaskMetrics& t = run.result.metrics.per_task[0];
+  EXPECT_EQ(t.offload_attempts, 10u);
+  EXPECT_EQ(t.timely_results, 0u);
+  EXPECT_EQ(t.compensations, 10u);
+  EXPECT_EQ(t.late_results, 0u);
+  EXPECT_EQ(t.deadline_misses, 0u);
+  EXPECT_EQ(t.completed, 10u);
+  EXPECT_DOUBLE_EQ(run.result.metrics.total_benefit(), 10.0);
+  EXPECT_EQ(run.result.rpc_sent, 10u);
+  EXPECT_EQ(run.result.rpc_replies, 0u);
+  EXPECT_EQ(run.server.requests, 10u);
+  EXPECT_EQ(run.server.replies, 0u);
+  EXPECT_EQ(run.server.drops, 10u);
+}
+
+TEST(RuntimeProtocolTest, LocalOnlyDecisionSendsNoRpcs) {
+  // A flat benefit curve keeps the ODM local; the runtime must run the
+  // whole horizon without a single RPC.
+  const RealRun run = run_real(
+      doc_text(R"({"type":"fixed","response_ms":20})", "[[0, 1.0]]"));
+  ASSERT_FALSE(run.offloaded);
+  const sim::TaskMetrics& t = run.result.metrics.per_task[0];
+  EXPECT_EQ(t.released, 10u);
+  EXPECT_EQ(t.offload_attempts, 0u);
+  EXPECT_EQ(t.local_runs, 10u);
+  EXPECT_EQ(t.completed, 10u);
+  EXPECT_EQ(t.deadline_misses, 0u);
+  EXPECT_DOUBLE_EQ(run.result.metrics.total_benefit(), 10.0);
+  EXPECT_EQ(run.result.rpc_sent, 0u);
+  EXPECT_EQ(run.server.requests, 0u);
+}
+
+}  // namespace
+}  // namespace rt::runtime

@@ -1,0 +1,138 @@
+// BatchMetrics / MetricStat JSON-contract suite (docs/SCENARIOS.md):
+// spread keys (stddev, ci95_half) appear only with >= 2 replications,
+// non-finite values are omitted rather than rendered as invalid JSON,
+// and the document always round-trips through Json::parse.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "sim/batch_metrics.hpp"
+#include "sim/metrics.hpp"
+#include "util/json.hpp"
+
+namespace rt::sim {
+namespace {
+
+SimMetrics metrics_with(double benefit, std::uint64_t timely) {
+  SimMetrics m;
+  TaskMetrics t;
+  t.released = 10;
+  t.completed = 10;
+  t.timely_results = timely;
+  t.offload_attempts = 10;
+  t.accrued_benefit = benefit;
+  m.per_task.push_back(t);
+  m.cpu_busy_ns = 500'000'000;
+  m.end_time = TimePoint(Duration::seconds(1).ns());
+  return m;
+}
+
+TEST(MetricStatTest, SingleSampleOmitsSpreadKeys) {
+  MetricStat stat;
+  stat.add(42.0);
+  const Json j = stat.to_json();
+  EXPECT_EQ(j.at("count").as_number(), 1);
+  EXPECT_DOUBLE_EQ(j.at("mean").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(j.at("min").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(j.at("max").as_number(), 42.0);
+  // Spread is undefined for n = 1: the keys must be absent, not 0.
+  EXPECT_FALSE(j.contains("stddev"));
+  EXPECT_FALSE(j.contains("ci95_half"));
+}
+
+TEST(MetricStatTest, TwoSamplesCarrySpreadKeys) {
+  MetricStat stat;
+  stat.add(10.0);
+  stat.add(14.0);
+  const Json j = stat.to_json();
+  EXPECT_EQ(j.at("count").as_number(), 2);
+  EXPECT_DOUBLE_EQ(j.at("mean").as_number(), 12.0);
+  ASSERT_TRUE(j.contains("stddev"));
+  ASSERT_TRUE(j.contains("ci95_half"));
+  EXPECT_NEAR(j.at("stddev").as_number(), std::sqrt(8.0), 1e-12);
+  EXPECT_NEAR(j.at("ci95_half").as_number(),
+              1.96 * std::sqrt(8.0) / std::sqrt(2.0), 1e-12);
+}
+
+TEST(MetricStatTest, ConstantSamplesReportZeroSpread) {
+  MetricStat stat;
+  for (int i = 0; i < 5; ++i) stat.add(7.5);
+  const Json j = stat.to_json();
+  EXPECT_DOUBLE_EQ(j.at("stddev").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(j.at("ci95_half").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(j.at("min").as_number(), 7.5);
+  EXPECT_DOUBLE_EQ(j.at("max").as_number(), 7.5);
+}
+
+TEST(MetricStatTest, NonFiniteValuesAreOmittedNotPrinted) {
+  MetricStat stat;
+  stat.add(std::numeric_limits<double>::quiet_NaN());
+  stat.add(1.0);
+  const Json j = stat.to_json();
+  EXPECT_EQ(j.at("count").as_number(), 2);
+  // NaN poisons the mean; the poisoned key is dropped (RunningStats
+  // clamps the NaN second moment to 0, so stddev stays finite) and the
+  // document still parses.
+  EXPECT_FALSE(j.contains("mean"));
+  const Json reparsed = Json::parse(j.dump());
+  EXPECT_EQ(reparsed.at("count").as_number(), 2);
+}
+
+TEST(BatchMetricsTest, SingleReplicationDocumentIsValidJson) {
+  BatchMetrics batch;
+  batch.add(metrics_with(80.0, 10));
+  const Json j = batch.to_json();
+  EXPECT_EQ(j.at("replications").as_number(), 1);
+  EXPECT_DOUBLE_EQ(j.at("total_benefit").at("mean").as_number(), 80.0);
+  EXPECT_FALSE(j.at("total_benefit").contains("stddev"));
+  EXPECT_FALSE(j.at("timely_results").contains("ci95_half"));
+  // The rendered document must parse back.
+  const Json reparsed = Json::parse(j.dump(2));
+  EXPECT_EQ(reparsed.at("replications").as_number(), 1);
+}
+
+TEST(BatchMetricsTest, ConstantLanesAcrossReplications) {
+  // K identical replications: spread keys present and exactly zero.
+  BatchMetrics batch;
+  for (int k = 0; k < 4; ++k) batch.add(metrics_with(80.0, 10));
+  EXPECT_EQ(batch.replications, 4u);
+  const Json j = batch.to_json();
+  EXPECT_EQ(j.at("replications").as_number(), 4);
+  EXPECT_DOUBLE_EQ(j.at("total_benefit").at("mean").as_number(), 80.0);
+  EXPECT_DOUBLE_EQ(j.at("total_benefit").at("stddev").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(j.at("total_benefit").at("ci95_half").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(j.at("timely_results").at("mean").as_number(), 10.0);
+  EXPECT_DOUBLE_EQ(j.at("cpu_utilization").at("mean").as_number(), 0.5);
+}
+
+TEST(BatchMetricsTest, VaryingLanesAggregateWelford) {
+  BatchMetrics batch;
+  batch.add(metrics_with(60.0, 6));
+  batch.add(metrics_with(80.0, 8));
+  batch.add(metrics_with(100.0, 10));
+  const Json j = batch.to_json();
+  EXPECT_DOUBLE_EQ(j.at("total_benefit").at("mean").as_number(), 80.0);
+  EXPECT_DOUBLE_EQ(j.at("total_benefit").at("min").as_number(), 60.0);
+  EXPECT_DOUBLE_EQ(j.at("total_benefit").at("max").as_number(), 100.0);
+  EXPECT_NEAR(j.at("total_benefit").at("stddev").as_number(), 20.0, 1e-12);
+}
+
+TEST(BatchMetricsTest, UndefinedUtilizationDoesNotBreakDocument) {
+  // A zero-length horizon makes cpu_utilization 0/0 = NaN; the mean key
+  // is omitted but the document stays valid JSON.
+  BatchMetrics batch;
+  SimMetrics m = metrics_with(1.0, 1);
+  m.end_time = TimePoint::zero();
+  m.cpu_busy_ns = 0;
+  if (!std::isfinite(m.cpu_utilization())) {
+    batch.add(m);
+    const Json j = batch.to_json();
+    EXPECT_FALSE(j.at("cpu_utilization").contains("mean"));
+    EXPECT_NO_THROW(Json::parse(j.dump()));
+  }
+}
+
+}  // namespace
+}  // namespace rt::sim

@@ -1,0 +1,68 @@
+// gpu_serverd -- the loopback "GPU server" daemon. Serves the composed
+// ResponseModel/FaultInjector stack of a scenario document behind a TCP
+// listener, replying to each offload RPC after the sampled response time
+// (time-dilated per $.runtime.time_scale) or never (sampled drops).
+//
+// Usage:
+//   gpu_serverd --spec spec.json [--listen HOST:PORT]
+//
+// Prints "listening on IP:PORT" once bound (port 0 asks the kernel for an
+// ephemeral port -- harnesses scrape this line), serves until
+// SIGINT/SIGTERM, then prints a stats JSON object and exits 0.
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "net/socket.hpp"
+#include "runtime/serve.hpp"
+#include "spec/scenario_doc.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    std::string spec_path;
+    std::optional<rt::net::SocketAddress> listen;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "-h" || arg == "--help") {
+        std::cout << "usage: gpu_serverd --spec spec.json "
+                     "[--listen HOST:PORT]\n"
+                     "Serves the document's server stack (with fault "
+                     "overlay) as the offload\ndaemon; see docs/RUNTIME.md "
+                     "for the wire protocol.\n";
+        return 0;
+      }
+      if (arg == "--spec" && i + 1 < argc) {
+        spec_path = argv[++i];
+        continue;
+      }
+      if (arg == "--listen" && i + 1 < argc) {
+        listen = rt::net::SocketAddress::parse(argv[++i]);
+        continue;
+      }
+      std::cerr << "error: unknown or incomplete argument '" << arg
+                << "' (see --help)\n";
+      return 1;
+    }
+    if (spec_path.empty()) {
+      std::cerr << "error: --spec spec.json is required\n";
+      return 1;
+    }
+    std::ifstream in(spec_path);
+    if (!in) {
+      std::cerr << "error: cannot open '" << spec_path << "'\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const rt::spec::ScenarioDoc doc =
+        rt::spec::ScenarioDoc::parse_text(buf.str());
+    return rt::runtime::serve_gpu(doc, listen.has_value() ? &*listen : nullptr,
+                                  std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -53,12 +53,16 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/sink.hpp"
 #include "rt/health.hpp"
+#include "runtime/gpu_service.hpp"
+#include "runtime/offload_runtime.hpp"
+#include "runtime/serve.hpp"
 #include "server/faults.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace_export.hpp"
 #include "spec/grid.hpp"
 #include "spec/registry.hpp"
 #include "spec/scenario_doc.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -449,6 +453,108 @@ int run_spec(const std::string& path, std::optional<unsigned> jobs_override,
   return total_misses == 0 ? 0 : 2;
 }
 
+// --run-real: execute a (sweep-free) spec document through the real
+// OffloadRuntime instead of the simulator. Without --server an in-process
+// loopback daemon serves the document's own model stack; with it, the
+// runtime connects to an already-running gpu_serverd.
+int run_real_spec(const std::string& path, const std::string& server_addr,
+                  const std::string& metrics_out,
+                  const std::string& trace_out) {
+  using namespace rt;
+  const spec::ScenarioDoc doc = spec::ScenarioDoc::parse_text(slurp(path));
+  if (!doc.sweep.is_null() && !doc.sweep.at("axes").as_array().empty()) {
+    std::cerr << "error: --run-real runs a single scenario, not a sweep\n";
+    return 1;
+  }
+  spec::BuiltScenario built = spec::build_scenario(doc);
+  if (built.server == nullptr && server_addr.empty()) {
+    std::cerr << "error: --run-real without --server needs a document with "
+                 "a server section (it becomes the loopback daemon's model)\n";
+    return 1;
+  }
+
+  const bool want_metrics = !metrics_out.empty();
+  const bool want_trace = !trace_out.empty();
+  obs::Sink sink;
+
+  const core::OdmResult odm = core::decide_offloading(built.tasks, built.odm);
+
+  runtime::RuntimeOptions options;
+  options.apply_spec_section(doc.runtime);
+  options.sink = want_metrics ? &sink : nullptr;
+  if (want_trace) options.trace_capacity = kTraceCapacity;
+  std::optional<runtime::LoopbackGpuServer> loopback;
+  if (server_addr.empty()) {
+    runtime::GpuServiceOptions service_options;
+    service_options.apply_spec_section(doc.runtime);
+    loopback.emplace(built.server->clone(),
+                     derive_seed(built.sim.seed, 0x6775), service_options);
+    options.server = loopback->address();
+  } else {
+    options.server = net::SocketAddress::parse(server_addr);
+  }
+
+  sim::SimConfig config = built.sim;
+  std::optional<health::ModeController> controller;
+  if (built.controller != nullptr) {
+    controller.emplace(*built.controller);
+    config.controller = &*controller;
+  }
+
+  const runtime::RuntimeResult result = runtime::run_offload_runtime(
+      built.tasks, odm.decisions, config, built.profile, options);
+  if (loopback.has_value()) loopback->stop();
+
+  Json::Object report;
+  report["feasible"] = odm.feasible;
+  report["theorem3_density"] = odm.density;
+  report["claimed_objective"] = odm.claimed_objective;
+  report["decisions"] =
+      core::decisions_to_json(built.tasks, odm.decisions).at("decisions");
+
+  const sim::SimMetrics& metrics = result.metrics;
+  Json::Object runtime_obj;
+  runtime_obj["released"] = static_cast<std::int64_t>(metrics.total_released());
+  runtime_obj["completed"] =
+      static_cast<std::int64_t>(metrics.total_completed());
+  runtime_obj["deadline_misses"] =
+      static_cast<std::int64_t>(metrics.total_deadline_misses());
+  runtime_obj["timely_results"] =
+      static_cast<std::int64_t>(metrics.total_timely_results());
+  runtime_obj["compensations"] =
+      static_cast<std::int64_t>(metrics.total_compensations());
+  runtime_obj["total_benefit"] = metrics.total_benefit();
+  runtime_obj["cpu_utilization"] = metrics.cpu_utilization();
+  runtime_obj["server"] = options.server.to_string();
+  runtime_obj["rpc"] = result.rpc_json();
+  Json::Array per_task;
+  for (std::size_t i = 0; i < built.tasks.size(); ++i) {
+    const auto& m = metrics.per_task[i];
+    Json::Object t;
+    t["task"] = built.tasks[i].name;
+    t["released"] = static_cast<std::int64_t>(m.released);
+    t["timely"] = static_cast<std::int64_t>(m.timely_results);
+    t["compensations"] = static_cast<std::int64_t>(m.compensations);
+    t["misses"] = static_cast<std::int64_t>(m.deadline_misses);
+    t["benefit"] = m.accrued_benefit;
+    per_task.push_back(Json(std::move(t)));
+  }
+  runtime_obj["per_task"] = Json(std::move(per_task));
+  report["runtime"] = Json(std::move(runtime_obj));
+  std::cout << Json(std::move(report)).dump(2) << "\n";
+
+  if (want_metrics) write_metrics_file(sink, metrics_out);
+  if (want_trace) {
+    obs::ChromeTraceWriter writer;
+    std::vector<std::string> names;
+    names.reserve(built.tasks.size());
+    for (const auto& t : built.tasks) names.push_back(t.name);
+    sim::append_chrome_trace(writer, result.trace, names, 0);
+    write_trace_file(writer, trace_out);
+  }
+  return metrics.total_deadline_misses() == 0 ? 0 : 2;
+}
+
 // Parse + validate + normalize a spec document; the normalized document
 // goes to stdout (valid input for --spec), diagnostics to stderr.
 int validate_spec(const std::string& path) {
@@ -525,6 +631,10 @@ int main(int argc, char** argv) {
     std::string trace_out;
     std::string spec_path;
     std::string validate_path;
+    bool run_real = false;
+    bool serve_gpu_flag = false;
+    std::string server_addr;
+    std::string listen_addr;
     RobustnessOptions robust;
     std::vector<std::string> files;
     const auto need_value = [&](int& i, const std::string& flag) -> const char* {
@@ -573,7 +683,13 @@ int main(int argc, char** argv) {
                      "(seeds derived per replication) and adds a "
                      "cross-replication\n\"aggregate\" object to the report "
                      "(overrides a spec document's "
-                     "sim.replications).\n";
+                     "sim.replications).\n--run-real executes a sweep-free "
+                     "spec document through the real epoll\nruntime "
+                     "(docs/RUNTIME.md); without --server HOST:PORT an "
+                     "in-process loopback\ndaemon serves the document's own "
+                     "model stack.\n--serve-gpu runs the document's server "
+                     "stack as a daemon (--listen HOST:PORT\noverrides "
+                     "$.runtime.listen) until SIGINT/SIGTERM.\n";
         return 0;
       }
       if (arg == "--fig3") {
@@ -590,6 +706,22 @@ int main(int argc, char** argv) {
       }
       if (arg == "--list-types") {
         return list_types();
+      }
+      if (arg == "--run-real") {
+        run_real = true;
+        continue;
+      }
+      if (arg == "--server") {
+        server_addr = need_value(i, arg);
+        continue;
+      }
+      if (arg == "--serve-gpu") {
+        serve_gpu_flag = true;
+        continue;
+      }
+      if (arg == "--listen") {
+        listen_addr = need_value(i, arg);
+        continue;
       }
       if (arg == "--faults") {
         const std::string path = need_value(i, arg);
@@ -660,6 +792,34 @@ int main(int argc, char** argv) {
       std::cerr << "error: --trace-out records a single serial run; it "
                    "cannot be combined with --replications N > 1\n";
       return 1;
+    }
+    if (serve_gpu_flag) {
+      if (spec_path.empty() || run_real || fig3 || !files.empty()) {
+        std::cerr << "error: --serve-gpu needs --spec spec.json and no other "
+                     "inputs\n";
+        return 1;
+      }
+      const rt::spec::ScenarioDoc doc =
+          rt::spec::ScenarioDoc::parse_text(slurp(spec_path));
+      std::optional<rt::net::SocketAddress> listen;
+      if (!listen_addr.empty()) {
+        listen = rt::net::SocketAddress::parse(listen_addr);
+      }
+      return rt::runtime::serve_gpu(
+          doc, listen.has_value() ? &*listen : nullptr, std::cout);
+    }
+    if (run_real) {
+      if (spec_path.empty() || fig3 || !files.empty()) {
+        std::cerr << "error: --run-real needs --spec spec.json and no other "
+                     "inputs\n";
+        return 1;
+      }
+      if (replications_flag.has_value()) {
+        std::cerr << "error: --replications does not apply to --run-real "
+                     "(one real execution per invocation)\n";
+        return 1;
+      }
+      return run_real_spec(spec_path, server_addr, metrics_out, trace_out);
     }
     if (!validate_path.empty()) {
       if (fig3 || !spec_path.empty() || !files.empty()) {
